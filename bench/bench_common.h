@@ -1,0 +1,54 @@
+// Shared helpers for the figure-reproduction benches: consistent table
+// printing, normalized-to-Oracle* reporting (the paper's presentation),
+// CSV dumping, and a global duration scale for quick smoke runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/harness.h"
+#include "sim/trace.h"
+
+namespace slb::bench {
+
+/// Multiplies every experiment duration; set SLB_BENCH_SCALE=0.25 for a
+/// fast smoke pass. Default 1.0.
+inline double duration_scale() {
+  if (const char* env = std::getenv("SLB_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+/// Directory for CSV traces (created if missing). Default ./bench_results.
+inline std::string results_dir() {
+  const char* env = std::getenv("SLB_BENCH_RESULTS");
+  const std::string dir = env != nullptr ? env : "bench_results";
+  const std::string cmd = "mkdir -p '" + dir + "'";
+  if (std::system(cmd.c_str()) != 0) return ".";
+  return dir;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+/// Prints the paper's standard comparison row set for one PE count:
+/// execution time normalized to Oracle* plus absolute final throughput.
+inline void print_alternatives_table(
+    const std::vector<sim::ExperimentResult>& results) {
+  const double oracle_time = results.front().exec_time_paper_s;
+  std::printf("  %-12s %14s %14s %16s %10s\n", "policy", "exec(paper s)",
+              "norm vs Orc*", "final tput(M/s)", "done");
+  for (const sim::ExperimentResult& r : results) {
+    std::printf("  %-12s %14.1f %14.2f %16.3f %10s\n",
+                sim::policy_name(r.kind).c_str(), r.exec_time_paper_s,
+                r.exec_time_paper_s / oracle_time, r.final_throughput_mtps,
+                r.completed ? "yes" : "DEADLINE");
+  }
+}
+
+}  // namespace slb::bench

@@ -1,0 +1,105 @@
+// Extension study: what the ordered merge costs, and which signals work
+// where.
+//
+// The paper's whole design exists because sequential semantics make
+// per-connection throughput uninformative (Section 4.3). Its Section 4.1
+// footnote mentions regions that end without merges (parallel sinks).
+// This bench quantifies both halves on the same workload:
+//
+//   4 PEs, 1,000-multiply tuples, two PEs permanently 10x loaded;
+//   {ordered, unordered} x {RR, TP-balance, LB-adaptive}.
+//
+// Expected: in the unordered region, throughput balancing suffices and
+// ordering costs nothing to LB; in the ordered region TP-balance is blind
+// (deliveries mirror its own weights) and only the blocking-rate model
+// recovers the capacity split.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "util/csv.h"
+
+using namespace slb;
+using namespace slb::sim;
+
+namespace {
+
+struct Row {
+  std::uint64_t emitted = 0;
+  WeightVector final_weights;
+};
+
+Row run(bool ordered, std::size_t merge_buffer,
+        std::unique_ptr<SplitPolicy> policy, double duration_s) {
+  ExperimentSpec spec;
+  spec.workers = 4;
+  spec.base_multiplies = 1000;
+  spec.loads.push_back({{0, 1}, 10.0, -1.0});
+  RegionConfig cfg = build_region_config(spec);
+  cfg.ordered = ordered;
+  cfg.merge_buffer = merge_buffer;
+  Region region(cfg, std::move(policy), build_load_profile(spec),
+                spec.hosts);
+  region.run_for(spec.scale.from_paper_seconds(duration_s));
+  return Row{region.emitted(), region.policy().weights()};
+}
+
+}  // namespace
+
+int main() {
+  const double duration_s = 150 * bench::duration_scale();
+  bench::print_header(
+      "Extension: ordered merge vs parallel sinks (4 PEs, half 10x "
+      "loaded)");
+  CsvWriter csv(bench::results_dir() + "/ext_ordering.csv");
+  csv.header({"region", "policy", "emitted", "w0", "w1", "w2", "w3"});
+
+  struct RegionKind {
+    const char* name;
+    bool ordered;
+    std::size_t merge_buffer;
+  };
+  const RegionKind kinds[] = {
+      {"ordered, bounded merger (the paper's transport)", true, 64},
+      {"ordered, eager merger (blocks only at the splitter)", true, 0},
+      {"unordered (parallel sinks)", false, 0},
+  };
+  for (const RegionKind& kind : kinds) {
+    std::printf("  --- %s ---\n", kind.name);
+    std::printf("  %-12s %12s %24s\n", "policy", "emitted",
+                "final weights");
+    struct Alt {
+      const char* name;
+      std::unique_ptr<SplitPolicy> policy;
+    };
+    std::vector<Alt> alts;
+    alts.push_back({"RR", std::make_unique<RoundRobinPolicy>(4)});
+    alts.push_back({"RR-reroute",
+                    std::make_unique<RerouteOnBlockPolicy>(4)});
+    alts.push_back({"TP-balance",
+                    std::make_unique<ThroughputBalancedPolicy>(4)});
+    alts.push_back({"LB-adaptive", std::make_unique<LoadBalancingPolicy>(
+                                       4, ControllerConfig{})});
+    for (Alt& alt : alts) {
+      const Row row = run(kind.ordered, kind.merge_buffer,
+                          std::move(alt.policy), duration_s);
+      std::printf("  %-12s %12llu   [%4d %4d %4d %4d]\n", alt.name,
+                  static_cast<unsigned long long>(row.emitted),
+                  row.final_weights[0], row.final_weights[1],
+                  row.final_weights[2], row.final_weights[3]);
+      csv.row({kind.name, alt.name, std::to_string(row.emitted),
+               std::to_string(row.final_weights[0]),
+               std::to_string(row.final_weights[1]),
+               std::to_string(row.final_weights[2]),
+               std::to_string(row.final_weights[3])});
+    }
+  }
+  std::printf(
+      "\n  reading: in the ordered region, bounded buffering chokes "
+      "re-routing and deliveries mirror the input mix, so only the "
+      "blocking-rate model recovers the capacity split; with parallel "
+      "sinks, re-routing alone already frees the fast workers and "
+      "TP-balance can learn from deliveries.\n");
+  std::printf("  CSV: %s/ext_ordering.csv\n", bench::results_dir().c_str());
+  return 0;
+}

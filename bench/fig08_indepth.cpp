@@ -1,0 +1,72 @@
+// Figure 8: two in-depth single-run traces of LB-adaptive.
+//
+// Top:    3 PEs, base cost 1,000 multiplies, one PE 100x loaded until an
+//         eighth through the run. The model sheds the loaded connection
+//         within seconds, re-explores periodically, and climbs back to an
+//         even split after the load disappears.
+// Bottom: 3 PEs, base cost 10,000 multiplies, equal capacity. Drafting
+//         causes early oscillation; the model settles near an even split.
+//
+// Prints weight trajectories and writes fig08_top.csv / fig08_bottom.csv.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace slb;
+using namespace slb::sim;
+
+namespace {
+
+void run_case(const char* name, const char* csv_name, long multiplies,
+              bool loaded, double duration_s) {
+  ExperimentSpec spec;
+  spec.workers = 3;
+  spec.base_multiplies = multiplies;
+  spec.duration_paper_s = duration_s;
+  if (loaded) {
+    spec.loads.push_back({{0}, 100.0, duration_s / 8.0});
+  }
+  auto region = make_region(PolicyKind::kLbAdaptive, spec);
+  TraceRecorder trace(spec.scale);
+  trace.attach(*region);
+  region->run_for(spec.scale.from_paper_seconds(duration_s));
+
+  bench::print_header(name);
+  if (loaded) {
+    std::printf("  (100x load on connection 0 removed at t=%.0fs)\n",
+                duration_s / 8.0);
+  }
+  std::printf("  allocation weights per connection (0.1%% units):\n%s",
+              trace.render_weights(static_cast<int>(duration_s / 20)).c_str());
+
+  // Summarize the paper's three headline behaviors.
+  const auto& rows = trace.rows();
+  const std::size_t eighth = rows.size() / 8;
+  if (loaded && eighth > 2) {
+    Weight min_w0 = kWeightUnits;
+    for (std::size_t i = 0; i < eighth; ++i) {
+      min_w0 = std::min(min_w0, rows[i].weights[0]);
+    }
+    std::printf("\n  loaded phase: connection 0 weight driven down to %d\n",
+                min_w0);
+  }
+  const TraceRow& last = rows.back();
+  std::printf("  final weights: [%d %d %d]\n", last.weights[0],
+              last.weights[1], last.weights[2]);
+  trace.write_csv(bench::results_dir() + "/" + csv_name);
+  std::printf("  CSV: %s/%s\n", bench::results_dir().c_str(), csv_name);
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::duration_scale();
+  run_case(
+      "Figure 8 top: 3 PEs, 1,000-multiply tuples, one 100x loaded "
+      "until t/8",
+      "fig08_top.csv", 1000, /*loaded=*/true, 400 * scale);
+  run_case(
+      "Figure 8 bottom: 3 PEs, 10,000-multiply tuples, equal capacity",
+      "fig08_bottom.csv", 10'000, /*loaded=*/false, 400 * scale);
+  return 0;
+}

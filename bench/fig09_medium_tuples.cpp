@@ -1,0 +1,72 @@
+// Figure 9: varying PEs with medium-cost tuples (base 1,000 multiplies),
+// half the PEs under 10x simulated load.
+//
+//   Left:   load static for the whole run — normalized execution time.
+//   Middle: load removed at t/8 — normalized execution time.
+//   Right:  load removed at t/8 — absolute final throughput.
+//
+// Alternatives per the paper: Oracle*, LB-static, LB-adaptive, RR.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/csv.h"
+
+using namespace slb;
+using namespace slb::sim;
+
+namespace {
+
+ExperimentSpec make_spec(int workers, bool dynamic, double duration_s) {
+  ExperimentSpec spec;
+  spec.workers = workers;
+  spec.base_multiplies = 1000;
+  spec.duration_paper_s = duration_s;
+  std::vector<int> loaded;
+  for (int w = 0; w < workers / 2; ++w) loaded.push_back(w);
+  LoadClass cls;
+  cls.workers = loaded;
+  cls.multiplier = 10.0;
+  if (dynamic) cls.until_work_fraction = 1.0 / 8.0;
+  spec.loads.push_back(cls);
+  return spec;
+}
+
+void run_variant(const char* title, bool dynamic, double duration_s,
+                 CsvWriter& csv) {
+  bench::print_header(title);
+  for (int workers : {2, 4, 8, 16}) {
+    const ExperimentSpec spec = make_spec(workers, dynamic, duration_s);
+    const std::uint64_t work = ideal_work(spec);
+    const auto results = run_alternatives(spec, work);
+    std::printf("  --- %d PEs (half with 10x load%s) ---\n", workers,
+                dynamic ? ", removed at t/8" : "");
+    bench::print_alternatives_table(results);
+    for (const ExperimentResult& r : results) {
+      csv.row({std::string(dynamic ? "dynamic" : "static"),
+               std::to_string(workers), policy_name(r.kind),
+               CsvWriter::format(r.exec_time_paper_s),
+               CsvWriter::format(r.exec_time_paper_s /
+                                 results.front().exec_time_paper_s),
+               CsvWriter::format(r.final_throughput_mtps)});
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double duration_s = 120 * bench::duration_scale();
+  CsvWriter csv(bench::results_dir() + "/fig09.csv");
+  csv.header({"variant", "workers", "policy", "exec_paper_s",
+              "exec_norm_oracle", "final_tput_mtps"});
+  run_variant(
+      "Figure 9 left: static 10x load on half the PEs (1,000-multiply "
+      "tuples)",
+      /*dynamic=*/false, duration_s, csv);
+  run_variant(
+      "Figure 9 middle+right: 10x load removed at t/8 (exec time and "
+      "final throughput)",
+      /*dynamic=*/true, duration_s, csv);
+  std::printf("\n  CSV: %s/fig09.csv\n", bench::results_dir().c_str());
+  return 0;
+}

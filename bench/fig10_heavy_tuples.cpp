@@ -1,0 +1,79 @@
+// Figure 10: varying PEs with heavy-cost tuples (base 10,000 multiplies),
+// half the PEs under 100x simulated load — static and dynamic variants,
+// normalized execution time and absolute final throughput.
+//
+// Headline behaviors to reproduce (Section 6.4): LB-static never
+// rediscovers that load went away, so LB-adaptive's *final throughput*
+// is far higher; RR eventually reaches Oracle*-like throughput in the
+// dynamic case but takes an order of magnitude longer to get there.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/csv.h"
+
+using namespace slb;
+using namespace slb::sim;
+
+namespace {
+
+ExperimentSpec make_spec(int workers, bool dynamic, double duration_s) {
+  ExperimentSpec spec;
+  spec.workers = workers;
+  spec.base_multiplies = 10'000;
+  spec.duration_paper_s = duration_s;
+  // Heavy tuples: a longer paper second keeps blocking episodes much
+  // shorter than the sampling period, as in the paper's real system
+  // (DESIGN.md time scaling) — otherwise draft-leader rotation is too
+  // slow to pin down all the loaded connections.
+  spec.scale.paper_second = millis(50);
+  std::vector<int> loaded;
+  for (int w = 0; w < workers / 2; ++w) loaded.push_back(w);
+  LoadClass cls;
+  cls.workers = loaded;
+  cls.multiplier = 100.0;
+  if (dynamic) cls.until_work_fraction = 1.0 / 8.0;
+  spec.loads.push_back(cls);
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  const double duration_s = 120 * bench::duration_scale();
+  CsvWriter csv(bench::results_dir() + "/fig10.csv");
+  csv.header({"variant", "workers", "policy", "exec_paper_s",
+              "exec_norm_oracle", "final_tput_mtps"});
+
+  for (const bool dynamic : {false, true}) {
+    bench::print_header(
+        dynamic ? "Figure 10 middle+right: 100x load removed at t/8"
+                : "Figure 10 left: static 100x load on half the PEs");
+    for (int workers : {2, 4, 8, 16}) {
+      const ExperimentSpec spec = make_spec(workers, dynamic, duration_s);
+      const std::uint64_t work = ideal_work(spec);
+      const auto results = run_alternatives(spec, work);
+      std::printf("  --- %d PEs ---\n", workers);
+      bench::print_alternatives_table(results);
+      for (const ExperimentResult& r : results) {
+        csv.row({std::string(dynamic ? "dynamic" : "static"),
+                 std::to_string(workers), policy_name(r.kind),
+                 CsvWriter::format(r.exec_time_paper_s),
+                 CsvWriter::format(r.exec_time_paper_s /
+                                   results.front().exec_time_paper_s),
+                 CsvWriter::format(r.final_throughput_mtps)});
+      }
+      if (dynamic) {
+        const double adaptive_tput = results[2].final_throughput_mtps;
+        const double static_tput = results[1].final_throughput_mtps;
+        if (static_tput > 0) {
+          std::printf(
+              "  LB-adaptive final tput / LB-static final tput = %.2fx "
+              "(paper: ~2x at scale)\n",
+              adaptive_tput / static_tput);
+        }
+      }
+    }
+  }
+  std::printf("\n  CSV: %s/fig10.csv\n", bench::results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Figure 11: PEs on heterogeneous hosts (no simulated load).
+//
+// Top: in-depth 2-PE run, one PE on the "fast" host and one on the
+//      "slow" host; the model settles near the hosts' capacity ratio
+//      (the paper reports ~65%/35%).
+// Bottom: 2-24 PEs spread over the two hosts under four placements:
+//      All-Fast, All-Slow, Even-RR, Even-LB. Execution time normalized
+//      to Even-RR plus absolute final throughput.
+//
+// Host substitution (DESIGN.md): slow = speed 1.0 / 8 threads
+// (2x X5365), fast = speed 1.8 / 16 threads (2x X5687 with SMT; the
+// 1.8x single-thread factor reflects the Westmere vs Clovertown IPC gap
+// implied by the paper's observed 65/35 split).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/csv.h"
+
+using namespace slb;
+using namespace slb::sim;
+
+namespace {
+
+constexpr double kFastSpeed = 1.8;
+constexpr int kFastThreads = 16;
+constexpr int kSlowThreads = 8;
+
+ExperimentSpec hetero_spec(int workers, const std::vector<int>& placement,
+                           double duration_s) {
+  ExperimentSpec spec;
+  spec.workers = workers;
+  spec.base_multiplies = 20'000;
+  spec.duration_paper_s = duration_s;
+  spec.hosts = HostModel(
+      {{kFastSpeed, kFastThreads}, {1.0, kSlowThreads}}, placement);
+  return spec;
+}
+
+std::vector<int> even_placement(int workers) {
+  std::vector<int> placement;
+  for (int w = 0; w < workers; ++w) placement.push_back(w < workers / 2 ? 0 : 1);
+  return placement;
+}
+
+void run_indepth(double duration_s) {
+  bench::print_header(
+      "Figure 11 top: in-depth, 1 PE on fast host vs 1 PE on slow host");
+  const ExperimentSpec spec = hetero_spec(2, {0, 1}, duration_s);
+  auto region = make_region(PolicyKind::kLbAdaptive, spec);
+  TraceRecorder trace(spec.scale);
+  trace.attach(*region);
+  region->run_for(spec.scale.from_paper_seconds(duration_s));
+  std::printf("%s", trace.render_weights(
+                        static_cast<int>(duration_s / 20)).c_str());
+  // Mean split over the last half of the run.
+  const auto& rows = trace.rows();
+  double w0 = 0;
+  std::size_t n = 0;
+  for (std::size_t i = rows.size() / 2; i < rows.size(); ++i, ++n) {
+    w0 += rows[i].weights[0];
+  }
+  w0 /= static_cast<double>(n);
+  std::printf(
+      "\n  steady split: fast connection %.1f%%, slow %.1f%% "
+      "(paper: ~65%%/35%%; ideal for 1.8x hosts: 64.3%%/35.7%%)\n",
+      w0 / 10.0, 100.0 - w0 / 10.0);
+  trace.write_csv(bench::results_dir() + "/fig11_top.csv");
+}
+
+void run_scaling(double duration_s, CsvWriter& csv) {
+  bench::print_header(
+      "Figure 11 bottom: All-Fast / All-Slow / Even-RR / Even-LB");
+  for (int workers : {2, 4, 8, 16, 24}) {
+    struct Alt {
+      const char* name;
+      std::vector<int> placement;
+      PolicyKind kind;
+    };
+    const std::vector<Alt> alts{
+        {"All-Fast", std::vector<int>(static_cast<std::size_t>(workers), 0),
+         PolicyKind::kRoundRobin},
+        {"All-Slow", std::vector<int>(static_cast<std::size_t>(workers), 1),
+         PolicyKind::kRoundRobin},
+        {"Even-RR", even_placement(workers), PolicyKind::kRoundRobin},
+        {"Even-LB", even_placement(workers), PolicyKind::kLbAdaptive},
+    };
+
+    // Shared fixed work: what the Even-RR configuration would ideally do.
+    const ExperimentSpec ref =
+        hetero_spec(workers, even_placement(workers), duration_s);
+    const std::uint64_t work = ideal_work(ref);
+
+    std::printf("  --- %d PEs (20,000-multiply tuples) ---\n", workers);
+    std::printf("  %-10s %14s %14s %16s %8s\n", "placement",
+                "exec(paper s)", "norm vs E-RR", "final tput(M/s)", "done");
+    std::vector<ExperimentResult> results;
+    for (const Alt& alt : alts) {
+      const ExperimentSpec spec =
+          hetero_spec(workers, alt.placement, duration_s);
+      results.push_back(run_fixed_work(alt.kind, spec, work, 25.0));
+    }
+    const double even_rr_time = results[2].exec_time_paper_s;
+    for (std::size_t i = 0; i < alts.size(); ++i) {
+      const ExperimentResult& r = results[i];
+      std::printf("  %-10s %14.1f %14.2f %16.3f %8s\n", alts[i].name,
+                  r.exec_time_paper_s, r.exec_time_paper_s / even_rr_time,
+                  r.final_throughput_mtps, r.completed ? "yes" : "DEADLINE");
+      csv.row({std::to_string(workers), alts[i].name,
+               CsvWriter::format(r.exec_time_paper_s),
+               CsvWriter::format(r.final_throughput_mtps)});
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double duration_s = 150 * bench::duration_scale();
+  run_indepth(duration_s);
+  CsvWriter csv(bench::results_dir() + "/fig11_bottom.csv");
+  csv.header({"workers", "placement", "exec_paper_s", "final_tput_mtps"});
+  run_scaling(120 * bench::duration_scale(), csv);
+  std::printf("\n  CSV: %s/fig11_top.csv, fig11_bottom.csv\n",
+              bench::results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Figure 12: 64-channel in-depth clustering experiment.
+//
+// 64 PEs, base tuple cost 60,000 multiplies; three load classes: 20 PEs
+// at 100x, 20 PEs at 5x, 24 PEs unloaded. LB-adaptive with clustering.
+// Left graph: allocation weights per channel over time (w as CSV; class
+// means printed). Right graph: the clustering "heatmap" — the cluster id
+// of each channel per period (CSV; purity summary printed).
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench/bench_common.h"
+
+using namespace slb;
+using namespace slb::sim;
+
+int main() {
+  const double duration_s = 400 * bench::duration_scale();
+
+  ExperimentSpec spec;
+  spec.workers = 64;
+  spec.base_multiplies = 60'000;
+  spec.duration_paper_s = duration_s;
+  // Heavy tuples: use a longer paper second so each period still carries
+  // a statistically useful number of tuples (DESIGN.md time scaling).
+  spec.scale.paper_second = millis(100);
+  spec.controller.enable_clustering = true;
+  spec.controller.clustering_min_connections = 32;
+
+  std::vector<int> class100;
+  std::vector<int> class5;
+  for (int w = 0; w < 20; ++w) class100.push_back(w);
+  for (int w = 20; w < 40; ++w) class5.push_back(w);
+  spec.loads.push_back({class100, 100.0, -1.0});
+  spec.loads.push_back({class5, 5.0, -1.0});
+
+  bench::print_header(
+      "Figure 12: 64 channels, 60,000-multiply tuples, 3 load classes "
+      "(20x100x, 20x5x, 24x1x), clustering on");
+
+  auto region = make_region(PolicyKind::kLbAdaptive, spec);
+  TraceRecorder trace(spec.scale);
+  trace.attach(*region);
+  region->run_for(spec.scale.from_paper_seconds(duration_s));
+
+  // Class-mean weight trajectories (the readable form of the left graph).
+  std::printf("  mean allocation weight per load class over time:\n");
+  std::printf("  %10s %10s %10s %10s\n", "paper_s", "100x", "5x", "1x");
+  const auto& rows = trace.rows();
+  const std::size_t stride = std::max<std::size_t>(1, rows.size() / 12);
+  for (std::size_t i = 0; i < rows.size(); i += stride) {
+    double m100 = 0;
+    double m5 = 0;
+    double m1 = 0;
+    for (int w = 0; w < 64; ++w) {
+      const double x = rows[i].weights[static_cast<std::size_t>(w)];
+      if (w < 20) {
+        m100 += x;
+      } else if (w < 40) {
+        m5 += x;
+      } else {
+        m1 += x;
+      }
+    }
+    std::printf("  %10.0f %10.2f %10.2f %10.2f\n", rows[i].paper_s,
+                m100 / 20, m5 / 20, m1 / 24);
+  }
+
+  // Heatmap purity: in the final quarter, do clusters mix load classes?
+  auto klass = [](int w) { return w < 20 ? 0 : (w < 40 ? 1 : 2); };
+  std::size_t impure_rows = 0;
+  std::size_t clustered_rows = 0;
+  for (std::size_t i = rows.size() * 3 / 4; i < rows.size(); ++i) {
+    if (rows[i].cluster_of.empty()) continue;
+    ++clustered_rows;
+    std::map<int, std::set<int>> classes_in_cluster;
+    for (int w = 0; w < 64; ++w) {
+      classes_in_cluster[rows[i].cluster_of[static_cast<std::size_t>(w)]]
+          .insert(klass(w));
+    }
+    for (const auto& [cluster, classes] : classes_in_cluster) {
+      if (classes.size() > 1) {
+        ++impure_rows;
+        break;
+      }
+    }
+  }
+  std::printf(
+      "\n  clustering heatmap: %zu/%zu final-quarter periods have "
+      "class-pure clusters (paper: classes fully sort out by the end)\n",
+      clustered_rows - impure_rows, clustered_rows);
+
+  const TraceRow& last = rows.back();
+  double w100 = 0;
+  double w5 = 0;
+  double w1 = 0;
+  for (int w = 0; w < 64; ++w) {
+    const double x = last.weights[static_cast<std::size_t>(w)];
+    if (w < 20) {
+      w100 += x;
+    } else if (w < 40) {
+      w5 += x;
+    } else {
+      w1 += x;
+    }
+  }
+  std::printf(
+      "  final per-channel weights: 100x class ~%.1f, 5x class ~%.1f, "
+      "unloaded ~%.1f (paper: minimum / <=2 / ~4)\n",
+      w100 / 20, w5 / 20, w1 / 24);
+
+  trace.write_csv(bench::results_dir() + "/fig12.csv");
+  std::printf("  CSV (weights, rates, cluster ids per period): %s/fig12.csv\n",
+              bench::results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 13: clustering on, 8-64 PEs, base tuple cost 60,000 multiplies,
+// half the PEs 100x loaded with the load removed at t/8. Execution time
+// normalized to Oracle* and absolute final throughput.
+//
+// The paper's observations: at 32-64 PEs LB-static and LB-adaptive have
+// similar execution times, both ~9x better than RR; LB-adaptive's final
+// throughput stays ahead because only it learns the load went away.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/csv.h"
+
+using namespace slb;
+using namespace slb::sim;
+
+int main() {
+  const double duration_s = 200 * bench::duration_scale();
+  CsvWriter csv(bench::results_dir() + "/fig13.csv");
+  csv.header({"workers", "policy", "exec_paper_s", "exec_norm_oracle",
+              "final_tput_mtps"});
+
+  bench::print_header(
+      "Figure 13: clustering on, 60,000-multiply tuples, half the PEs "
+      "100x loaded until t/8");
+  for (int workers : {8, 16, 32, 64}) {
+    ExperimentSpec spec;
+    spec.workers = workers;
+    spec.base_multiplies = 60'000;
+    spec.duration_paper_s = duration_s;
+    spec.scale.paper_second = millis(100);
+    spec.controller.enable_clustering = true;
+    spec.controller.clustering_min_connections = 32;
+    std::vector<int> loaded;
+    for (int w = 0; w < workers / 2; ++w) loaded.push_back(w);
+    LoadClass cls;
+    cls.workers = loaded;
+    cls.multiplier = 100.0;
+    cls.until_work_fraction = 1.0 / 8.0;
+    spec.loads.push_back(cls);
+
+    const std::uint64_t work = ideal_work(spec);
+    const auto results = run_alternatives(spec, work);
+    std::printf("  --- %d PEs (clustering %s) ---\n", workers,
+                workers >= 32 ? "engaged" : "below threshold");
+    bench::print_alternatives_table(results);
+    for (const ExperimentResult& r : results) {
+      csv.row({std::to_string(workers), policy_name(r.kind),
+               CsvWriter::format(r.exec_time_paper_s),
+               CsvWriter::format(r.exec_time_paper_s /
+                                 results.front().exec_time_paper_s),
+               CsvWriter::format(r.final_throughput_mtps)});
+    }
+    const double rr_norm = results[3].exec_time_paper_s /
+                           results.front().exec_time_paper_s;
+    const double lb_norm = results[2].exec_time_paper_s /
+                           results.front().exec_time_paper_s;
+    std::printf("  RR / LB-adaptive execution-time ratio: %.1fx\n",
+                rr_norm / lb_norm);
+  }
+  std::printf("\n  CSV: %s/fig13.csv\n", bench::results_dir().c_str());
+  return 0;
+}

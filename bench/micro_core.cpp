@@ -1,0 +1,164 @@
+// Micro-benchmarks (google-benchmark) for the core algorithms: the Fox
+// greedy RAP solver (the paper claims O(N + R log N)), the bisection
+// solver, PAVA monotone regression, rate-function maintenance, smooth
+// WRR picking, and the clustering distance matrix.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/clustering.h"
+#include "core/controller.h"
+#include "core/monotone_regression.h"
+#include "core/rap.h"
+#include "core/rate_function.h"
+#include "core/wrr.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace slb {
+namespace {
+
+// ---- RAP solvers ---------------------------------------------------------
+
+RapProblem make_problem(int n) {
+  RapProblem p;
+  p.total = kWeightUnits;
+  p.vars.assign(static_cast<std::size_t>(n),
+                RapVariable{0, kWeightUnits, 1});
+  p.eval = [](int j, Weight w) {
+    // Heterogeneous linear blocking curves; cheap to evaluate so the
+    // benchmark measures solver overhead, not eval cost.
+    return static_cast<double>(w) * (1.0 + 0.03 * (j % 17));
+  };
+  return p;
+}
+
+void BM_FoxGreedy(benchmark::State& state) {
+  const RapProblem p = make_problem(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_fox(p));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FoxGreedy)->RangeMultiplier(4)->Range(2, 512)->Complexity();
+
+void BM_BisectSolver(benchmark::State& state) {
+  const RapProblem p = make_problem(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_bisect(p));
+  }
+}
+BENCHMARK(BM_BisectSolver)->RangeMultiplier(4)->Range(2, 128);
+
+// ---- PAVA ----------------------------------------------------------------
+
+void BM_IsotonicFit(benchmark::State& state) {
+  Rng rng(1);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> y(n);
+  std::vector<double> w(n, 1.0);
+  for (auto& v : y) v = rng.uniform(0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isotonic_fit(y, w));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IsotonicFit)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+// ---- RateFunction maintenance ---------------------------------------------
+
+void BM_RateFunctionObserveAndFit(benchmark::State& state) {
+  Rng rng(2);
+  RateFunction f;
+  for (int i = 0; i < 100; ++i) {
+    f.observe(static_cast<Weight>(1 + rng.below(kWeightUnits)),
+              rng.uniform(0, 1));
+  }
+  for (auto _ : state) {
+    f.observe(static_cast<Weight>(1 + rng.below(kWeightUnits)),
+              rng.uniform(0, 1));
+    benchmark::DoNotOptimize(f.value(500));
+  }
+}
+BENCHMARK(BM_RateFunctionObserveAndFit);
+
+void BM_RateFunctionDecay(benchmark::State& state) {
+  Rng rng(3);
+  RateFunction f;
+  for (int i = 0; i < 200; ++i) {
+    f.observe(static_cast<Weight>(1 + rng.below(kWeightUnits)),
+              rng.uniform(0, 1));
+  }
+  for (auto _ : state) {
+    f.decay_above(300, 0.9);
+    benchmark::DoNotOptimize(f.value(900));
+  }
+}
+BENCHMARK(BM_RateFunctionDecay);
+
+// ---- WRR -------------------------------------------------------------------
+
+void BM_SmoothWrrPick(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SmoothWrr wrr(n);
+  Rng rng(4);
+  WeightVector w(static_cast<std::size_t>(n));
+  Weight left = kWeightUnits;
+  for (int j = 0; j < n - 1; ++j) {
+    w[static_cast<std::size_t>(j)] = static_cast<Weight>(
+        rng.below(static_cast<std::uint64_t>(left / 2) + 1));
+    left -= w[static_cast<std::size_t>(j)];
+  }
+  w[static_cast<std::size_t>(n - 1)] = left;
+  wrr.set_weights(w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wrr.pick());
+  }
+}
+BENCHMARK(BM_SmoothWrrPick)->RangeMultiplier(4)->Range(2, 128);
+
+// ---- full controller update -------------------------------------------------
+
+void BM_ControllerUpdate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ControllerConfig cfg;
+  cfg.enable_clustering = n >= 32;
+  LoadBalanceController controller(n, cfg);
+  std::vector<DurationNs> cumulative(static_cast<std::size_t>(n), 0);
+  TimeNs now = 0;
+  Rng rng(9);
+  // Warm up past the baseline sample.
+  controller.update(now += seconds(1), cumulative);
+  for (auto _ : state) {
+    now += seconds(1);
+    cumulative[rng.below(static_cast<std::uint64_t>(n))] += millis(500);
+    benchmark::DoNotOptimize(controller.update(now, cumulative));
+  }
+}
+BENCHMARK(BM_ControllerUpdate)->RangeMultiplier(4)->Range(4, 64);
+
+// ---- clustering -------------------------------------------------------------
+
+void BM_ClusterFunctions(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<RateFunction> fns(static_cast<std::size_t>(n));
+  for (auto& f : fns) {
+    const Weight knee = static_cast<Weight>(50 + rng.below(900));
+    for (Weight w = 50; w <= kWeightUnits; w += 50) {
+      f.observe(w, w <= knee ? 0.0 : 0.001 * (w - knee));
+    }
+    benchmark::DoNotOptimize(f.value(500));  // force the fit outside timing
+  }
+  std::vector<const RateFunction*> ptrs;
+  for (const auto& f : fns) ptrs.push_back(&f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster_functions(ptrs, {}));
+  }
+}
+BENCHMARK(BM_ClusterFunctions)->RangeMultiplier(2)->Range(8, 64);
+
+}  // namespace
+}  // namespace slb
+
+BENCHMARK_MAIN();

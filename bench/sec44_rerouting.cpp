@@ -1,0 +1,83 @@
+// Section 4.4: the failed transport-level re-routing baseline.
+//
+// Two PEs, one 100x more expensive. The paper reports that data-transport
+// re-routing (divert a tuple when its connection would block) reroutes
+// ~0.5% of tuples with no discernible improvement at 1,000-multiply
+// tuples, and ~7.5% with ~20% improvement at 10,000 — concluding that
+// blocking is a *late* indicator and a predictive model is required.
+//
+// We run the experiment under both merger models (see DESIGN.md): the
+// bounded merger matches the paper's transport (the qualitative result
+// reproduces); the eager merger shows how implementation details change
+// the picture — with per-tuple granularity and no back pressure from the
+// merger, re-routing becomes accidentally effective. LB-adaptive is shown
+// for reference: the model-based approach dominates either way.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/csv.h"
+
+using namespace slb;
+using namespace slb::sim;
+
+namespace {
+
+void run_case(long multiplies, std::size_t merge_buffer, CsvWriter& csv) {
+  ExperimentSpec spec;
+  spec.workers = 2;
+  spec.base_multiplies = multiplies;
+  spec.duration_paper_s = 60 * bench::duration_scale();
+  spec.merge_buffer = merge_buffer;
+  spec.loads.push_back({{0}, 100.0, -1.0});
+  const std::uint64_t work = ideal_work(spec);
+
+  std::printf("  --- %ld-multiply tuples, merger %s ---\n", multiplies,
+              merge_buffer == 0 ? "eager (unbounded)" : "bounded");
+  std::printf("  %-12s %12s %12s %14s %10s\n", "policy", "emitted",
+              "vs RR", "rerouted %", "done");
+  std::uint64_t rr_emitted = 0;
+  for (PolicyKind kind : {PolicyKind::kRoundRobin, PolicyKind::kReroute,
+                          PolicyKind::kLbAdaptive, PolicyKind::kOracle}) {
+    const ExperimentResult r = run_fixed_work(kind, spec, work, 10.0);
+    if (kind == PolicyKind::kRoundRobin) rr_emitted = r.emitted;
+    const double vs_rr =
+        static_cast<double>(r.emitted) /
+        static_cast<double>(std::max<std::uint64_t>(rr_emitted, 1));
+    const double rerouted_pct =
+        100.0 * static_cast<double>(r.rerouted) /
+        static_cast<double>(std::max<std::uint64_t>(r.total_sent, 1));
+    std::printf("  %-12s %12llu %12.2f %14.2f %10s\n",
+                policy_name(kind).c_str(),
+                static_cast<unsigned long long>(r.emitted), vs_rr,
+                rerouted_pct, r.completed ? "yes" : "DEADLINE");
+    csv.row({std::to_string(multiplies),
+             merge_buffer == 0 ? "eager" : "bounded", policy_name(kind),
+             std::to_string(r.emitted), CsvWriter::format(vs_rr),
+             CsvWriter::format(rerouted_pct)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Section 4.4: transport-level re-routing vs RR vs the model "
+      "(2 PEs, one 100x loaded)");
+  CsvWriter csv(bench::results_dir() + "/sec44.csv");
+  csv.header({"multiplies", "merger", "policy", "emitted", "vs_rr",
+              "rerouted_pct"});
+  for (long multiplies : {1000L, 10'000L}) {
+    run_case(multiplies, /*merge_buffer=*/64, csv);   // paper's transport
+    run_case(multiplies, /*merge_buffer=*/0, csv);    // eager merger
+  }
+  std::printf(
+      "\n  reading: with the bounded (block-at-merger) transport, "
+      "re-routing diverts a modest fraction of tuples and neither it nor "
+      "any splitter-side policy approaches Oracle* — blocking is too late "
+      "an indicator, the paper's core lesson. With the eager merger the "
+      "blocking signal is clean and the predictive model matches Oracle*; "
+      "there fine-grained re-routing also happens to work, a transport "
+      "artifact discussed in EXPERIMENTS.md.\n");
+  std::printf("  CSV: %s/sec44.csv\n", bench::results_dir().c_str());
+  return 0;
+}

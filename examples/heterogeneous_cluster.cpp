@@ -1,0 +1,75 @@
+// Heterogeneous cluster: placements across hosts of different speeds.
+//
+//   $ ./build/examples/heterogeneous_cluster
+//
+// Recreates the spirit of the paper's Section 6.5: a "fast" host (1.8x
+// per-thread speed, 16 hardware threads) and a "slow" host (1.0x, 8
+// threads). For a growing PE count we compare keeping everything on the
+// fast host vs spreading over both hosts with round-robin vs spreading
+// with the blocking-rate load balancer — showing the paper's punchline
+// that *adding a slow host improves performance only if the balancer can
+// discover each host's capacity*.
+#include <cstdio>
+#include <vector>
+
+#include "sim/harness.h"
+
+using namespace slb;
+using namespace slb::sim;
+
+namespace {
+
+ExperimentSpec spec_for(int workers, std::vector<int> placement) {
+  ExperimentSpec spec;
+  spec.workers = workers;
+  spec.base_multiplies = 20'000;
+  spec.duration_paper_s = 120;
+  spec.hosts = HostModel({{1.8, 16}, {1.0, 8}}, std::move(placement));
+  return spec;
+}
+
+double throughput(PolicyKind kind, const ExperimentSpec& spec) {
+  auto region = make_region(kind, spec);
+  region->run_for(spec.scale.from_paper_seconds(spec.duration_paper_s));
+  const double virtual_s = spec.duration_paper_s *
+                           static_cast<double>(spec.scale.paper_second) /
+                           1e9;
+  return static_cast<double>(region->emitted()) / virtual_s / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("fast host: 1.8x speed, 16 threads | slow host: 1.0x, 8 "
+              "threads | 20,000-multiply tuples\n\n");
+  std::printf("%6s %15s %15s %15s %15s\n", "PEs", "all-fast (M/s)",
+              "even+RR (M/s)", "even+LB (M/s)", "16/8+LB (M/s)");
+  for (int workers : {8, 16, 24}) {
+    const std::vector<int> all_fast(static_cast<std::size_t>(workers), 0);
+    std::vector<int> even;
+    for (int w = 0; w < workers; ++w) even.push_back(w < workers / 2 ? 0 : 1);
+    // Capacity-aware placement: fill the fast host's 16 hardware threads
+    // first (the paper's best 24-PE configuration: 16 fast + 8 slow).
+    std::vector<int> capacity;
+    for (int w = 0; w < workers; ++w) capacity.push_back(w < 16 ? 0 : 1);
+
+    const double fast =
+        throughput(PolicyKind::kRoundRobin, spec_for(workers, all_fast));
+    const double even_rr =
+        throughput(PolicyKind::kRoundRobin, spec_for(workers, even));
+    const double even_lb =
+        throughput(PolicyKind::kLbAdaptive, spec_for(workers, even));
+    const double cap_lb =
+        throughput(PolicyKind::kLbAdaptive, spec_for(workers, capacity));
+    std::printf("%6d %15.3f %15.3f %15.3f %15.3f%s\n", workers, fast,
+                even_rr, even_lb, cap_lb,
+                cap_lb > fast ? "  <- slow host now *helps*" : "");
+  }
+  std::printf(
+      "\nwith few PEs the fast host alone wins; once its 16 threads "
+      "saturate, adding the slow host pays off — but only when placement "
+      "leaves the fast host unoversubscribed AND the balancer discovers "
+      "each host's capacity (round-robin is dragged down by the ordered "
+      "merge).\n");
+  return 0;
+}

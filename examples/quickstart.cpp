@@ -1,0 +1,51 @@
+// Quickstart: build a simulated data-parallel region, give one worker a
+// burst of external load, and watch the blocking-rate load balancer shed
+// and re-grow its allocation.
+//
+//   $ ./build/examples/quickstart
+//
+// The library mirrors the paper's architecture: a single-threaded
+// splitter feeds N workers over TCP-like channels; an in-order merger
+// restores sequential semantics; the only feedback signal is how long
+// the splitter spent *blocked* per connection.
+#include <cstdio>
+
+#include "sim/harness.h"
+#include "sim/trace.h"
+
+using namespace slb;
+using namespace slb::sim;
+
+int main() {
+  // 1. Describe the experiment in the paper's vocabulary: 4 workers,
+  //    tuples costing 1,000 integer multiplies, worker 0 carrying 50x
+  //    external load for the first 30 "paper seconds".
+  ExperimentSpec spec;
+  spec.workers = 4;
+  spec.base_multiplies = 1000;
+  spec.duration_paper_s = 120;
+  spec.loads.push_back({{0}, /*multiplier=*/50.0, /*until_paper_s=*/30.0});
+
+  // 2. Build the region with the paper's full scheme (LB-adaptive =
+  //    blocking-rate functions + minimax RAP + exploration decay).
+  auto region = make_region(PolicyKind::kLbAdaptive, spec);
+
+  // 3. Attach a trace and run. The simulator compresses time: 120 paper
+  //    seconds complete in well under a wall-clock second.
+  TraceRecorder trace(spec.scale);
+  trace.attach(*region);
+  region->run_for(spec.scale.from_paper_seconds(spec.duration_paper_s));
+
+  // 4. Inspect what happened.
+  std::printf("allocation weights over time (0.1%% units, 4 workers):\n");
+  std::printf("%s\n", trace.render_weights(10).c_str());
+  std::printf("tuples processed: %llu (order preserved by construction: "
+              "the merger emits strictly by sequence number)\n",
+              static_cast<unsigned long long>(region->emitted()));
+
+  const WeightVector& w = region->policy().weights();
+  std::printf("final weights: [%d %d %d %d] — worker 0 recovered its even "
+              "share after the load lifted at t=30s\n",
+              w[0], w[1], w[2], w[3]);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Cumulative blocking-time counters, the system artifact at the heart of
+// the paper (Section 3).
+//
+// Every splitter → worker connection owns one counter. Whenever a send on
+// that connection would block, the sender measures how long it actually
+// blocked and adds the duration here. A sampling thread (or the simulator's
+// controller event) periodically reads the cumulative values; successive
+// differences yield the blocking *rate*.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "util/time.h"
+
+namespace slb {
+
+/// A single connection's cumulative blocking time in nanoseconds.
+/// Writers call `add`; samplers call `cumulative`. Lock-free; relaxed
+/// ordering suffices because the consumer only needs an eventually-recent
+/// monotone value, never cross-variable ordering.
+class BlockingCounter {
+ public:
+  void add(DurationNs blocked) {
+    total_.fetch_add(blocked, std::memory_order_relaxed);
+  }
+
+  DurationNs cumulative() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  void reset() { total_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<DurationNs> total_{0};
+};
+
+/// The set of counters for one parallel region, indexed by connection.
+/// Fixed size after construction so samplers can iterate without locking.
+class BlockingCounterSet {
+ public:
+  explicit BlockingCounterSet(std::size_t connections)
+      : counters_(connections) {}
+
+  BlockingCounterSet(const BlockingCounterSet&) = delete;
+  BlockingCounterSet& operator=(const BlockingCounterSet&) = delete;
+
+  std::size_t size() const { return counters_.size(); }
+
+  BlockingCounter& at(std::size_t j) { return counters_[j]; }
+  const BlockingCounter& at(std::size_t j) const { return counters_[j]; }
+
+  /// Snapshot of all cumulative values, in connection order.
+  std::vector<DurationNs> sample() const {
+    std::vector<DurationNs> out(counters_.size());
+    for (std::size_t j = 0; j < counters_.size(); ++j) {
+      out[j] = counters_[j].cumulative();
+    }
+    return out;
+  }
+
+  void reset_all() {
+    for (auto& c : counters_) c.reset();
+  }
+
+ private:
+  std::vector<BlockingCounter> counters_;
+};
+
+}  // namespace slb

@@ -1,0 +1,98 @@
+#include "core/clustering.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace slb {
+
+Clusters cluster_functions(const std::vector<const RateFunction*>& functions,
+                           const ClusteringConfig& config) {
+  const int n = static_cast<int>(functions.size());
+  Clusters clusters;
+  clusters.reserve(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) clusters.push_back({j});
+  if (n <= 1) return clusters;
+
+  // Pairwise distances between individual functions are fixed; complete
+  // linkage between clusters is the max over cross-pairs.
+  std::vector<std::vector<double>> dist(
+      static_cast<std::size_t>(n), std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const double d =
+          function_distance(*functions[static_cast<std::size_t>(a)],
+                            *functions[static_cast<std::size_t>(b)],
+                            config.distance);
+      dist[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = d;
+      dist[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] = d;
+    }
+  }
+
+  auto linkage = [&](const std::vector<ConnectionId>& ca,
+                     const std::vector<ConnectionId>& cb) {
+    double worst = 0.0;
+    for (ConnectionId a : ca) {
+      for (ConnectionId b : cb) {
+        worst = std::max(
+            worst, dist[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)]);
+      }
+    }
+    return worst;
+  };
+
+  while (clusters.size() > 1) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0;
+    std::size_t bj = 0;
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+        const double d = linkage(clusters[i], clusters[j]);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (best > config.threshold) break;
+    clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(),
+                        clusters[bj].end());
+    clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(bj));
+  }
+
+  canonicalize(clusters);
+  return clusters;
+}
+
+RateFunction merge_cluster_function(
+    const std::vector<const RateFunction*>& functions,
+    const std::vector<ConnectionId>& members,
+    const RateFunctionConfig& fn_config) {
+  assert(!members.empty());
+  std::map<Weight, RawPoint> merged;
+  for (ConnectionId m : members) {
+    for (const auto& [w, p] : functions[static_cast<std::size_t>(m)]->raw()) {
+      RawPoint& cell = merged[w];
+      cell.value += p.value * p.weight;
+      cell.weight += p.weight;
+    }
+  }
+  for (auto& [w, p] : merged) {
+    if (p.weight > 0.0) p.value /= p.weight;
+  }
+  RateFunction fn(fn_config);
+  fn.load_raw(merged);
+  return fn;
+}
+
+void canonicalize(Clusters& clusters) {
+  for (auto& c : clusters) std::sort(c.begin(), c.end());
+  std::sort(clusters.begin(), clusters.end(),
+            [](const std::vector<ConnectionId>& a,
+               const std::vector<ConnectionId>& b) {
+              return a.front() < b.front();
+            });
+}
+
+}  // namespace slb

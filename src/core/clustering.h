@@ -1,0 +1,51 @@
+// Agglomerative clustering of connections by blocking-rate-function shape
+// (paper Section 5.3).
+//
+// With many connections, the (roughly fixed) stream of blocking
+// observations is spread thin and each per-connection function becomes
+// unreliable. Connections that share a host — or just a performance class
+// — behave alike, so we cluster functions with the paper's distance,
+// aggregate each cluster's raw evidence into one function, solve the RAP
+// over the (few) clusters, and hand each member its cluster's per-member
+// weight.
+#pragma once
+
+#include <vector>
+
+#include "core/distance.h"
+#include "core/rate_function.h"
+
+namespace slb {
+
+/// Clustering tunables.
+struct ClusteringConfig {
+  /// Merge clusters while the complete-linkage distance between the two
+  /// closest clusters is at most this threshold.
+  double threshold = 1.0;
+  DistanceConfig distance;
+};
+
+/// A grouping of connection indices; every connection appears in exactly
+/// one cluster.
+using Clusters = std::vector<std::vector<ConnectionId>>;
+
+/// Bottom-up agglomerative clustering with complete linkage. Deterministic:
+/// ties merge the lexicographically smallest pair. O(N^3) worst case, which
+/// is fine for the N <= 256 this system targets.
+Clusters cluster_functions(const std::vector<const RateFunction*>& functions,
+                           const ClusteringConfig& config);
+
+/// Builds the aggregate function for one cluster: at every weight observed
+/// by any member, the evidence-weighted mean of the members' raw values,
+/// with the members' sample weights summed. The result sees all the data
+/// the members saw individually.
+RateFunction merge_cluster_function(
+    const std::vector<const RateFunction*>& functions,
+    const std::vector<ConnectionId>& members,
+    const RateFunctionConfig& fn_config = {});
+
+/// Canonicalizes clusters for stable output: members sorted ascending,
+/// clusters ordered by first member.
+void canonicalize(Clusters& clusters);
+
+}  // namespace slb

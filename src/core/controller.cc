@@ -1,0 +1,156 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace slb {
+
+LoadBalanceController::LoadBalanceController(int connections,
+                                             ControllerConfig config)
+    : config_(config),
+      estimator_(connections, config.ewma_alpha),
+      weights_(even_weights(connections)) {
+  assert(connections > 0);
+  functions_.reserve(static_cast<std::size_t>(connections));
+  for (int j = 0; j < connections; ++j) {
+    functions_.emplace_back(config_.function);
+  }
+  status_.weights = weights_;
+  status_.smoothed_rates.assign(static_cast<std::size_t>(connections), 0.0);
+  status_.raw_rates.assign(static_cast<std::size_t>(connections), 0.0);
+}
+
+const WeightVector& LoadBalanceController::update(
+    TimeNs now, std::span<const DurationNs> cumulative_blocked) {
+  assert(static_cast<int>(cumulative_blocked.size()) == connections());
+
+  // The weights held *during* the period just observed: observations must
+  // be attributed to them, not to whatever we decide next.
+  const WeightVector held = weights_;
+
+  estimator_.ingest(now, cumulative_blocked);
+  if (!estimator_.ready()) return weights_;
+
+  const int n = connections();
+  for (int j = 0; j < n; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    const double raw = estimator_.last_raw_rate(j);
+    status_.raw_rates[ju] = raw;
+    status_.smoothed_rates[ju] = estimator_.rate(j);
+    if (raw > 0.0) {
+      seen_blocking_ = true;
+      functions_[ju].observe(held[ju], raw, 1.0);
+    } else if (config_.zero_sample_weight > 0.0) {
+      functions_[ju].observe(held[ju], 0.0, config_.zero_sample_weight);
+    }
+    if (config_.decay_factor < 1.0) {
+      functions_[ju].decay_above(held[ju], config_.decay_factor);
+    }
+  }
+
+  // No connection has ever blocked: every function is identically zero
+  // and the optimizer would be choosing between indistinguishable
+  // alternatives. Keep the current (even) split until evidence arrives.
+  if (!seen_blocking_) return weights_;
+
+  const bool use_clusters =
+      config_.enable_clustering && n >= config_.clustering_min_connections;
+  if (use_clusters) {
+    solve_clustered();
+  } else {
+    status_.clusters.clear();
+    solve_flat();
+  }
+
+  ++status_.updates;
+  status_.weights = weights_;
+  return weights_;
+}
+
+void LoadBalanceController::set_weights(const WeightVector& w) {
+  assert(static_cast<int>(w.size()) == connections());
+  assert(total_weight(w) == kWeightUnits);
+  weights_ = w;
+  status_.weights = w;
+}
+
+void LoadBalanceController::solve_flat() {
+  const int n = connections();
+  RapProblem problem;
+  problem.total = kWeightUnits;
+  problem.vars.resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    RapVariable& v = problem.vars[ju];
+    v.min = std::max(config_.min_weight,
+                     static_cast<Weight>(weights_[ju] - config_.max_step_down));
+    v.min = std::max(v.min, 0);
+    Weight up = config_.max_step_up;
+    if (config_.geometric_step_up) {
+      up = std::min(up, std::max(config_.geometric_step_floor, weights_[ju]));
+    }
+    v.max = std::min(kWeightUnits, static_cast<Weight>(weights_[ju] + up));
+    v.multiplicity = 1;
+  }
+  problem.eval = [this](int j, Weight w) {
+    return functions_[static_cast<std::size_t>(j)].value(w);
+  };
+
+  const RapSolution sol = config_.solver == RapSolverKind::kFox
+                              ? solve_fox(problem)
+                              : solve_bisect(problem);
+  status_.objective = sol.objective;
+  status_.solver_feasible = sol.feasible;
+  if (sol.feasible) weights_ = sol.weights;
+}
+
+void LoadBalanceController::solve_clustered() {
+  const int n = connections();
+  std::vector<const RateFunction*> fns;
+  fns.reserve(static_cast<std::size_t>(n));
+  for (const RateFunction& f : functions_) fns.push_back(&f);
+
+  status_.clusters = cluster_functions(fns, config_.clustering);
+  const int k = static_cast<int>(status_.clusters.size());
+
+  std::vector<RateFunction> merged;
+  merged.reserve(static_cast<std::size_t>(k));
+  for (const auto& members : status_.clusters) {
+    merged.push_back(merge_cluster_function(fns, members, config_.function));
+  }
+
+  // Solve at member granularity, but with every member evaluating its
+  // *cluster's* merged function. Clustering's benefit is data aggregation
+  // — each function now rests on all of its cluster's observations — and
+  // solving per member sidesteps the granularity pathologies of a
+  // cluster-level formulation (a coarse cluster cannot absorb the last
+  // few 0.1% units, which would otherwise be dumped onto whatever small
+  // cluster remains, however badly it blocks). Same-cluster members have
+  // identical marginal curves, so the greedy hands them equal weights
+  // (within one unit), matching the paper's per-cluster allocations.
+  std::vector<int> cluster_of(static_cast<std::size_t>(n), 0);
+  for (int c = 0; c < k; ++c) {
+    for (ConnectionId j : status_.clusters[static_cast<std::size_t>(c)]) {
+      cluster_of[static_cast<std::size_t>(j)] = c;
+    }
+  }
+
+  RapProblem problem;
+  problem.total = kWeightUnits;
+  problem.vars.assign(static_cast<std::size_t>(n),
+                      RapVariable{config_.min_weight, kWeightUnits, 1});
+  problem.eval = [&merged, &cluster_of](int j, Weight w) {
+    return merged[static_cast<std::size_t>(
+                      cluster_of[static_cast<std::size_t>(j)])]
+        .value(w);
+  };
+
+  const RapSolution sol = config_.solver == RapSolverKind::kFox
+                              ? solve_fox(problem)
+                              : solve_bisect(problem);
+  status_.objective = sol.objective;
+  status_.solver_feasible = sol.feasible;
+  if (sol.feasible) weights_ = sol.weights;
+}
+
+}  // namespace slb

@@ -1,0 +1,129 @@
+// The load-balance controller: one instance per parallel region's
+// splitter. This is the paper's full pipeline (Figures 4 and 6):
+//
+//   sample cumulative blocking  ->  blocking rates  ->  update F_j
+//     ->  (decay for exploration)  ->  (cluster when wide)
+//     ->  solve minimax RAP  ->  new allocation weights
+//
+// The controller is substrate-agnostic: callers feed it cumulative
+// blocking counters (from the simulator or from real TCP instrumentation)
+// once per period and apply the returned weights to their router. The
+// same controller code drives every experiment in this repository.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/clustering.h"
+#include "core/rap.h"
+#include "core/rate_estimator.h"
+#include "core/rate_function.h"
+#include "core/types.h"
+#include "util/time.h"
+
+namespace slb {
+
+/// Which exact RAP solver the controller runs each period. Fox's greedy
+/// is the paper's choice and the default; the bisection solver (in the
+/// spirit of Galil & Megiddo) produces the same objective and is exposed
+/// for completeness and cross-checking.
+enum class RapSolverKind { kFox, kBisect };
+
+/// Controller tunables. Defaults reproduce LB-adaptive from the paper;
+/// set `decay_factor = 1.0` for LB-static.
+struct ControllerConfig {
+  /// RAP solver used each update.
+  RapSolverKind solver = RapSolverKind::kFox;
+
+  /// EWMA smoothing factor for per-period blocking rates (tracing only;
+  /// the functions smooth per-weight via RateFunctionConfig::mix_alpha).
+  double ewma_alpha = 0.5;
+
+  /// Per-iteration geometric decay applied to F_j beyond the current
+  /// weight (Section 5.4). 0.9 = the paper's 10 % reduction; 1.0 disables
+  /// exploration (LB-static).
+  double decay_factor = 0.9;
+
+  /// Sample weight for zero-blocking observations. The paper only receives
+  /// data for connections that blocked; recording "no blocking at weight
+  /// w" with a small weight speeds recovery (see DESIGN.md). 0 disables.
+  double zero_sample_weight = 0.25;
+
+  /// Per-update bounds on weight movement (the RAP's m_j / M_j relative to
+  /// the current weights). Downward moves are unbounded by default,
+  /// matching the paper's traces where a loaded connection drops to 0 in
+  /// one step.
+  Weight max_step_up = kWeightUnits;
+  Weight max_step_down = kWeightUnits;
+
+  /// Geometric upward probing: caps each update's increase at
+  /// max(geometric_step_floor, 2 x current weight) — so a connection
+  /// being re-explored from near zero is fed only a trickle (cheap if it
+  /// is still overloaded: its buffers barely fill before the blocking
+  /// data arrives and the optimizer backs off), while a recovering
+  /// connection still climbs to an even share within ~log2(R) updates.
+  /// Tighter of this and max_step_up wins; disable by setting false.
+  bool geometric_step_up = true;
+  Weight geometric_step_floor = 8;
+
+  /// Hard floor for every connection's weight (0 lets connections be shut
+  /// off entirely, as in the paper).
+  Weight min_weight = 0;
+
+  /// Clustering (Section 5.3): engaged only when the region has at least
+  /// `clustering_min_connections` connections.
+  bool enable_clustering = false;
+  int clustering_min_connections = 32;
+  ClusteringConfig clustering;
+
+  RateFunctionConfig function;
+};
+
+/// Per-update diagnostic snapshot, used by traces and tests.
+struct ControllerStatus {
+  WeightVector weights;
+  std::vector<double> smoothed_rates;
+  std::vector<double> raw_rates;
+  Clusters clusters;  // empty when clustering is off / not engaged
+  double objective = 0.0;
+  bool solver_feasible = true;
+  long updates = 0;
+};
+
+class LoadBalanceController {
+ public:
+  LoadBalanceController(int connections, ControllerConfig config = {});
+
+  /// Feeds one sampling period. `cumulative_blocked[j]` is connection j's
+  /// cumulative blocking time (ns) at time `now`. Returns the weights to
+  /// apply until the next update. The first call only establishes a
+  /// baseline and returns the initial even split.
+  const WeightVector& update(TimeNs now,
+                             std::span<const DurationNs> cumulative_blocked);
+
+  const WeightVector& weights() const { return weights_; }
+  int connections() const { return static_cast<int>(functions_.size()); }
+  const RateFunction& function(int j) const {
+    return functions_[static_cast<std::size_t>(j)];
+  }
+  const ControllerStatus& status() const { return status_; }
+  const ControllerConfig& config() const { return config_; }
+
+  /// Overrides the current weights (e.g. to seed a known-good split).
+  void set_weights(const WeightVector& w);
+
+ private:
+  void solve_flat();
+  void solve_clustered();
+
+  ControllerConfig config_;
+  BlockingRateEstimator estimator_;
+  std::vector<RateFunction> functions_;
+  WeightVector weights_;
+  ControllerStatus status_;
+  /// Until some connection actually blocks there is no evidence to act on
+  /// (all functions are identically zero); keep the even split.
+  bool seen_blocking_ = false;
+};
+
+}  // namespace slb

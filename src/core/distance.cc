@@ -1,0 +1,43 @@
+#include "core/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slb {
+
+double distance_alpha(const DistanceConfig& config) {
+  const double r = static_cast<double>(kWeightUnits);
+  const double denom = std::fabs(std::log(r * config.delta));
+  return std::log(r) / std::max(denom, 1e-12);
+}
+
+double function_distance(const RateFunction& fj, const RateFunction& fk,
+                         const DistanceConfig& config) {
+  const double delta = config.delta;
+  const double alpha = distance_alpha(config);
+
+  // Knees, floored so the log is finite and insensitive to noise among
+  // connections that block almost immediately (paper's Figure 7 right).
+  const double sj = std::max(config.min_knee,
+                             static_cast<double>(fj.service_rate()));
+  const double sk = std::max(config.min_knee,
+                             static_cast<double>(fk.service_rate()));
+
+  // Blocking at the knee and at full load, floored at delta.
+  const double bj_knee =
+      std::max(delta, fj.value(static_cast<Weight>(std::min<double>(
+                          sj, kWeightUnits))));
+  const double bk_knee =
+      std::max(delta, fk.value(static_cast<Weight>(std::min<double>(
+                          sk, kWeightUnits))));
+  const double bj_full = std::max(delta, fj.value(kWeightUnits));
+  const double bk_full = std::max(delta, fk.value(kWeightUnits));
+
+  const double d_knee = std::fabs(std::log(sj / sk));
+  const double d_rate_knee = alpha * std::fabs(std::log(bj_knee / bk_knee));
+  const double d_rate_full = alpha * std::fabs(std::log(bj_full / bk_full));
+
+  return std::max({d_knee, d_rate_knee, d_rate_full});
+}
+
+}  // namespace slb

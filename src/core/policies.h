@@ -1,0 +1,182 @@
+// Splitter routing policies: the paper's scheme plus every baseline its
+// evaluation compares against (Section 6's Oracle*, LB-static,
+// LB-adaptive, RR, and Section 4.4's transport-level re-routing).
+//
+// A policy answers two questions: "which connection gets the next tuple?"
+// (pick_connection) and "what should change given this period's blocking
+// counters?" (on_sample). Substrates call both; a policy that ignores
+// samples (RR) is simply static.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/types.h"
+#include "core/wrr.h"
+#include "util/time.h"
+
+namespace slb {
+
+class SplitPolicy {
+ public:
+  virtual ~SplitPolicy() = default;
+
+  /// Routes the next tuple.
+  virtual ConnectionId pick_connection() = 0;
+
+  /// Periodic feedback: cumulative blocking time per connection at `now`.
+  virtual void on_sample(TimeNs now,
+                         std::span<const DurationNs> cumulative_blocked) {
+    (void)now;
+    (void)cumulative_blocked;
+  }
+
+  /// Periodic feedback: cumulative tuples *delivered downstream* per
+  /// connection. In an ordered region this carries no information — the
+  /// merge equalizes it to the allocation weights (paper Section 4.3) —
+  /// but in unordered regions (parallel sinks) it reveals capacity, and
+  /// ThroughputBalancedPolicy consumes it.
+  virtual void on_throughput(TimeNs now,
+                             std::span<const std::uint64_t> delivered) {
+    (void)now;
+    (void)delivered;
+  }
+
+  /// Current allocation weights (diagnostic; sums to kWeightUnits).
+  virtual const WeightVector& weights() const = 0;
+
+  /// When true, the splitter may divert a tuple whose chosen connection
+  /// would block to another connection with buffer space (the failed
+  /// approach of Section 4.4, kept as a reproducible baseline).
+  virtual bool reroute_on_block() const { return false; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Naive round-robin: equal weights, no adaptation ("RR" in the paper).
+class RoundRobinPolicy : public SplitPolicy {
+ public:
+  explicit RoundRobinPolicy(int connections);
+  ConnectionId pick_connection() override;
+  const WeightVector& weights() const override { return weights_; }
+  std::string name() const override { return "RR"; }
+
+ private:
+  WeightVector weights_;
+  int cursor_ = 0;
+  int connections_;
+};
+
+/// Round-robin that additionally asks the splitter to re-route tuples at
+/// the transport level when the chosen connection is full (Section 4.4).
+class RerouteOnBlockPolicy : public RoundRobinPolicy {
+ public:
+  explicit RerouteOnBlockPolicy(int connections)
+      : RoundRobinPolicy(connections) {}
+  bool reroute_on_block() const override { return true; }
+  std::string name() const override { return "RR-reroute"; }
+};
+
+/// The paper's scheme: blocking-rate functions + minimax RAP, routed with
+/// smooth weighted round-robin. "LB-adaptive" with decay_factor < 1,
+/// "LB-static" with decay_factor == 1.
+class LoadBalancingPolicy : public SplitPolicy {
+ public:
+  LoadBalancingPolicy(int connections, ControllerConfig config = {});
+
+  ConnectionId pick_connection() override { return wrr_.pick(); }
+  void on_sample(TimeNs now,
+                 std::span<const DurationNs> cumulative_blocked) override;
+  const WeightVector& weights() const override {
+    return controller_.weights();
+  }
+  std::string name() const override {
+    return controller_.config().decay_factor < 1.0 ? "LB-adaptive"
+                                                   : "LB-static";
+  }
+
+  const LoadBalanceController& controller() const { return controller_; }
+
+ private:
+  LoadBalanceController controller_;
+  SmoothWrr wrr_;
+};
+
+/// Oracle*: applies externally-known ideal weights on a fixed schedule
+/// (Section 6). "Ideal" weights are proportional to each connection's true
+/// capacity; the star marks that at a load change it switches immediately,
+/// which the paper notes is actually slightly *too early*.
+class OraclePolicy : public SplitPolicy {
+ public:
+  /// One schedule entry: at `when`, start using weights proportional to
+  /// `capacities` (relative processing speeds; need not be normalized).
+  struct Phase {
+    TimeNs when;
+    std::vector<double> capacities;
+  };
+
+  OraclePolicy(int connections, std::vector<Phase> schedule);
+
+  ConnectionId pick_connection() override { return wrr_.pick(); }
+  void on_sample(TimeNs now,
+                 std::span<const DurationNs> cumulative_blocked) override;
+  const WeightVector& weights() const override { return wrr_.weights(); }
+  std::string name() const override { return "Oracle*"; }
+
+  /// Applies the next scheduled phase immediately, regardless of its
+  /// timestamp. Experiments whose capacity changes are triggered by work
+  /// progress rather than time (Section 6.3's "an eighth through the
+  /// experiment") use this to keep the oracle omniscient.
+  void advance_phase();
+
+ private:
+  std::vector<Phase> schedule_;
+  std::size_t next_phase_ = 0;
+  SmoothWrr wrr_;
+};
+
+/// Extension baseline (not in the paper): balance by observed
+/// per-connection *delivered throughput*, with transport-level
+/// re-routing so the single-threaded splitter does not simply enforce
+/// its own weight mix by blocking. Each period it nudges weights toward
+/// the observed delivery shares.
+///
+/// This works for unordered regions (parallel sinks), where rerouted
+/// tuples exit freely and deliveries reveal capacity. In ordered regions
+/// it inherits both Section 4.3 (deliveries mirror the input mix) and
+/// Section 4.4 (re-routing is too little, too late), so it cannot correct
+/// an imbalance — a runnable demonstration of why the paper needed the
+/// blocking-rate signal.
+class ThroughputBalancedPolicy : public SplitPolicy {
+ public:
+  /// @param gain fraction of the observed-share correction applied per
+  ///   period, in (0, 1].
+  /// @param reroute divert tuples whose connection would block (needed
+  ///   for deliveries to carry any capacity information at all).
+  explicit ThroughputBalancedPolicy(int connections, double gain = 0.5,
+                                    bool reroute = true);
+
+  ConnectionId pick_connection() override { return wrr_.pick(); }
+  void on_throughput(TimeNs now,
+                     std::span<const std::uint64_t> delivered) override;
+  const WeightVector& weights() const override { return wrr_.weights(); }
+  bool reroute_on_block() const override { return reroute_; }
+  std::string name() const override { return "TP-balance"; }
+
+ private:
+  double gain_;
+  bool reroute_;
+  std::vector<std::uint64_t> prev_;
+  bool have_baseline_ = false;
+  SmoothWrr wrr_;
+};
+
+/// Rounds fractional shares to integer weights summing exactly to
+/// kWeightUnits (largest-remainder method). Shares need not be normalized.
+WeightVector weights_from_shares(const std::vector<double>& shares);
+
+}  // namespace slb

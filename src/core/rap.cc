@@ -1,0 +1,262 @@
+#include "core/rap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace slb {
+
+namespace {
+
+/// Sum of c_j * w_j.
+Weight allocated_units(const std::vector<RapVariable>& vars,
+                       const WeightVector& w) {
+  Weight sum = 0;
+  for (std::size_t j = 0; j < vars.size(); ++j) {
+    sum += vars[j].multiplicity * w[j];
+  }
+  return sum;
+}
+
+double objective_of(const RapProblem& p, const WeightVector& w) {
+  double worst = 0.0;
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    worst = std::max(worst, p.eval(static_cast<int>(j), w[j]));
+  }
+  return worst;
+}
+
+void validate(const RapProblem& p) {
+  assert(p.eval);
+  assert(p.total >= 0);
+  for (const RapVariable& v : p.vars) {
+    assert(v.min >= 0);
+    assert(v.max >= v.min);
+    assert(v.max <= kWeightUnits);
+    assert(v.multiplicity >= 1);
+    (void)v;
+  }
+}
+
+}  // namespace
+
+RapSolution solve_fox(const RapProblem& p) {
+  validate(p);
+  const int n = static_cast<int>(p.vars.size());
+  RapSolution sol;
+  sol.weights.resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    sol.weights[static_cast<std::size_t>(j)] =
+        p.vars[static_cast<std::size_t>(j)].min;
+  }
+  sol.allocated = allocated_units(p.vars, sol.weights);
+  if (sol.allocated > p.total) {
+    // Minimum shares alone exceed the traffic: infeasible.
+    sol.objective = objective_of(p, sol.weights);
+    sol.feasible = false;
+    return sol;
+  }
+
+  // Min-heap over the value each variable would take at its *next* unit.
+  // Keys never change for entries in the heap (eval is pure), so no
+  // staleness handling is required: we push a fresh entry after each
+  // increment. Ties break toward the variable currently holding the
+  // *least* weight (then the lowest index): with identical functions —
+  // e.g. at startup, before any blocking has been observed — this yields
+  // an even spread instead of starving high indices.
+  struct Entry {
+    double value;
+    Weight reached;  // the weight the variable would hold after this unit
+    int j;
+    bool operator>(const Entry& o) const {
+      if (value != o.value) return value > o.value;
+      if (reached != o.reached) return reached > o.reached;
+      return j > o.j;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+
+  auto push_next = [&](int j) {
+    const auto ju = static_cast<std::size_t>(j);
+    const Weight next = sol.weights[ju] + 1;
+    if (next <= p.vars[ju].max &&
+        sol.allocated + p.vars[ju].multiplicity <= p.total) {
+      heap.push(Entry{p.eval(j, next), next, j});
+    }
+  };
+
+  for (int j = 0; j < n; ++j) push_next(j);
+
+  while (sol.allocated < p.total && !heap.empty()) {
+    const Entry e = heap.top();
+    heap.pop();
+    const auto ju = static_cast<std::size_t>(e.j);
+    // Re-check the budget: earlier increments may have consumed units
+    // since this entry was pushed.
+    if (sol.allocated + p.vars[ju].multiplicity > p.total) continue;
+    sol.weights[ju] += 1;
+    sol.allocated += p.vars[ju].multiplicity;
+    push_next(e.j);
+  }
+
+  sol.objective = objective_of(p, sol.weights);
+  // Feasible when the full traffic fits; with unit multiplicities the
+  // greedy always lands exactly on total unless every variable is capped.
+  Weight max_units = 0;
+  for (const RapVariable& v : p.vars) max_units += v.multiplicity * v.max;
+  sol.feasible = sol.allocated == p.total ||
+                 (max_units >= p.total &&
+                  p.total - sol.allocated <
+                      [&] {
+                        int min_mult = std::numeric_limits<int>::max();
+                        for (const RapVariable& v : p.vars) {
+                          min_mult = std::min(min_mult, v.multiplicity);
+                        }
+                        return min_mult;
+                      }());
+  if (max_units < p.total) sol.feasible = false;
+  return sol;
+}
+
+RapSolution solve_bisect(const RapProblem& p) {
+  validate(p);
+  const int n = static_cast<int>(p.vars.size());
+  RapSolution sol;
+  sol.weights.resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    sol.weights[static_cast<std::size_t>(j)] =
+        p.vars[static_cast<std::size_t>(j)].min;
+  }
+  sol.allocated = allocated_units(p.vars, sol.weights);
+  if (sol.allocated > p.total) {
+    sol.objective = objective_of(p, sol.weights);
+    sol.feasible = false;
+    return sol;
+  }
+
+  // Candidate objective values: every attainable F_j(w) in range. The
+  // optimum must be one of them (or the mandatory floor max_j F_j(m_j)).
+  std::vector<double> candidates;
+  for (int j = 0; j < n; ++j) {
+    const RapVariable& v = p.vars[static_cast<std::size_t>(j)];
+    for (Weight w = v.min; w <= v.max; ++w) candidates.push_back(p.eval(j, w));
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // cap_j(lambda): largest w in [m_j, M_j] with F_j(w) <= lambda, found by
+  // binary search thanks to monotonicity. Returns m_j - 1 when even the
+  // minimum exceeds lambda.
+  auto cap = [&](int j, double lambda) -> Weight {
+    const RapVariable& v = p.vars[static_cast<std::size_t>(j)];
+    if (p.eval(j, v.min) > lambda) return v.min - 1;
+    Weight lo = v.min;
+    Weight hi = v.max;
+    while (lo < hi) {
+      const Weight mid = lo + (hi - lo + 1) / 2;
+      if (p.eval(j, mid) <= lambda) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return lo;
+  };
+
+  auto feasible_at = [&](double lambda) {
+    Weight capacity = 0;
+    for (int j = 0; j < n; ++j) {
+      const Weight c = cap(j, lambda);
+      if (c < p.vars[static_cast<std::size_t>(j)].min) return false;
+      capacity += p.vars[static_cast<std::size_t>(j)].multiplicity * c;
+      if (capacity >= p.total) return true;
+    }
+    return capacity >= p.total;
+  };
+
+  // Binary search the smallest feasible candidate.
+  std::size_t lo = 0;
+  std::size_t hi = candidates.size();  // one past the end == "none work"
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (feasible_at(candidates[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+
+  if (lo == candidates.size()) {
+    // Even the loosest lambda cannot place all traffic: capacity-bound.
+    for (int j = 0; j < n; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      while (sol.weights[ju] < p.vars[ju].max &&
+             sol.allocated + p.vars[ju].multiplicity <= p.total) {
+        sol.weights[ju] += 1;
+        sol.allocated += p.vars[ju].multiplicity;
+      }
+    }
+    sol.objective = objective_of(p, sol.weights);
+    sol.feasible = false;
+    return sol;
+  }
+
+  const double lambda = candidates[lo];
+  // Fill greedily up to each cap until the budget is spent.
+  for (int j = 0; j < n && sol.allocated < p.total; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    const Weight limit = cap(j, lambda);
+    while (sol.weights[ju] < limit &&
+           sol.allocated + p.vars[ju].multiplicity <= p.total) {
+      sol.weights[ju] += 1;
+      sol.allocated += p.vars[ju].multiplicity;
+    }
+  }
+  sol.objective = objective_of(p, sol.weights);
+  Weight max_units = 0;
+  for (const RapVariable& v : p.vars) max_units += v.multiplicity * v.max;
+  int min_mult = std::numeric_limits<int>::max();
+  for (const RapVariable& v : p.vars) {
+    min_mult = std::min(min_mult, v.multiplicity);
+  }
+  sol.feasible =
+      max_units >= p.total && (p.total - sol.allocated) < min_mult;
+  return sol;
+}
+
+double bruteforce_objective(const RapProblem& p) {
+  validate(p);
+  const int n = static_cast<int>(p.vars.size());
+  double best = std::numeric_limits<double>::infinity();
+  WeightVector w(static_cast<std::size_t>(n), 0);
+
+  // Depth-first enumeration of all assignments hitting the budget exactly
+  // (or as close as multiplicities allow, mirroring the solvers).
+  int min_mult = std::numeric_limits<int>::max();
+  for (const RapVariable& v : p.vars) {
+    min_mult = std::min(min_mult, v.multiplicity);
+  }
+
+  std::function<void(int, Weight, double)> go = [&](int j, Weight used,
+                                                    double worst) {
+    if (worst >= best) return;  // prune
+    if (j == n) {
+      if (p.total - used < min_mult && used <= p.total) {
+        best = std::min(best, worst);
+      }
+      return;
+    }
+    const RapVariable& v = p.vars[static_cast<std::size_t>(j)];
+    for (Weight x = v.min; x <= v.max; ++x) {
+      const Weight next = used + v.multiplicity * x;
+      if (next > p.total) break;
+      go(j + 1, next, std::max(worst, p.eval(j, x)));
+    }
+  };
+  go(0, 0, 0.0);
+  return best;
+}
+
+}  // namespace slb

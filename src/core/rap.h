@@ -1,0 +1,73 @@
+// Minimax separable resource-allocation problem (RAP) solvers
+// (paper Section 5.2).
+//
+// The load-balancing optimization is:
+//
+//   minimize   max_j F_j(w_j)
+//   subject to sum_j c_j * w_j = total,   m_j <= w_j <= M_j
+//
+// where each F_j is monotone non-decreasing in w_j and the w_j are
+// integers (units of 0.1 %). The multiplicity c_j generalizes the paper's
+// formulation to clustered connections (Section 5.3): a cluster of c
+// look-alike connections is one variable whose per-member weight w costs
+// c * w resource units.
+//
+// Three solvers are provided:
+//  * solve_fox       — the greedy marginal-allocation algorithm attributed
+//                      to Fox (1966); O(N + R log N) with a binary heap.
+//                      This is the production path, as in the paper.
+//  * solve_bisect    — a binary search on the objective value in the
+//                      spirit of Galil & Megiddo (1979); used to
+//                      cross-check Fox in tests.
+//  * solve_bruteforce— exhaustive search; testing only, tiny instances.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/types.h"
+
+namespace slb {
+
+/// Bounds and multiplicity for one decision variable.
+struct RapVariable {
+  Weight min = 0;
+  Weight max = kWeightUnits;
+  int multiplicity = 1;
+};
+
+/// A problem instance. `eval(j, w)` must be monotone non-decreasing in `w`
+/// for every `j` and cheap to call (the solvers call it O(N + R) times).
+struct RapProblem {
+  std::function<double(int j, Weight w)> eval;
+  std::vector<RapVariable> vars;
+  Weight total = kWeightUnits;
+};
+
+/// Result of a solve.
+struct RapSolution {
+  /// Chosen per-variable weights (per-member weights for clusters).
+  WeightVector weights;
+  /// max_j eval(j, weights[j]).
+  double objective = 0.0;
+  /// False when the constraints cannot be met: either sum c_j*m_j > total,
+  /// or sum c_j*M_j < total. weights still holds the closest attempt.
+  bool feasible = false;
+  /// Resource units actually allocated (== total when feasible and the
+  /// multiplicities divide evenly; may fall short of total by less than
+  /// min multiplicity otherwise).
+  Weight allocated = 0;
+};
+
+/// Greedy marginal-allocation (Fox). Exact for monotone instances.
+RapSolution solve_fox(const RapProblem& problem);
+
+/// Binary search on the objective value. Exact for monotone instances;
+/// asymptotically cheaper in R than Fox, used here for cross-validation.
+RapSolution solve_bisect(const RapProblem& problem);
+
+/// Exhaustive optimal objective (not weights); for tests with tiny N and
+/// total only — cost is O((total+1)^N).
+double bruteforce_objective(const RapProblem& problem);
+
+}  // namespace slb

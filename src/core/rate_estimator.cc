@@ -1,0 +1,52 @@
+#include "core/rate_estimator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace slb {
+
+BlockingRateEstimator::BlockingRateEstimator(int connections, double alpha)
+    : alpha_(alpha) {
+  assert(connections > 0);
+  smoothed_.reserve(static_cast<std::size_t>(connections));
+  for (int j = 0; j < connections; ++j) smoothed_.emplace_back(alpha);
+  last_raw_.assign(static_cast<std::size_t>(connections), 0.0);
+  last_cumulative_.assign(static_cast<std::size_t>(connections), 0);
+}
+
+void BlockingRateEstimator::ingest(TimeNs now,
+                                   std::span<const DurationNs> cumulative) {
+  assert(cumulative.size() == smoothed_.size());
+  if (!have_baseline_) {
+    std::copy(cumulative.begin(), cumulative.end(), last_cumulative_.begin());
+    last_time_ = now;
+    have_baseline_ = true;
+    return;
+  }
+  const DurationNs period = now - last_time_;
+  if (period <= 0) return;  // duplicate or out-of-order sample; ignore
+  for (std::size_t j = 0; j < smoothed_.size(); ++j) {
+    DurationNs delta = cumulative[j] - last_cumulative_[j];
+    // The transport layer periodically resets its counters (Figure 2);
+    // a negative delta means a reset happened, so re-baseline this period.
+    if (delta < 0) delta = cumulative[j];
+    const double raw =
+        static_cast<double>(delta) / static_cast<double>(period);
+    last_raw_[j] = raw;
+    smoothed_[j].add(raw);
+    last_cumulative_[j] = cumulative[j];
+  }
+  last_time_ = now;
+  ready_ = true;
+}
+
+void BlockingRateEstimator::reset() {
+  for (auto& e : smoothed_) e.reset();
+  std::fill(last_raw_.begin(), last_raw_.end(), 0.0);
+  std::fill(last_cumulative_.begin(), last_cumulative_.end(), 0);
+  last_time_ = 0;
+  have_baseline_ = false;
+  ready_ = false;
+}
+
+}  // namespace slb

@@ -1,0 +1,61 @@
+// Turns successive samples of cumulative blocking time into smoothed
+// per-connection blocking rates (Section 3, Figure 2 of the paper).
+//
+// The blocking *rate* of connection j over a sampling period is the first
+// difference of its cumulative blocking time divided by the period length:
+// the fraction of the period the splitter spent blocked on that
+// connection. It is dimensionless and lies in [0, 1] per connection (the
+// splitter is a single thread, so the rates across connections also sum to
+// at most ~1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/ewma.h"
+#include "util/time.h"
+
+namespace slb {
+
+/// Per-connection rate estimation with EWMA smoothing. Feed one cumulative
+/// snapshot per period; read back smoothed rates.
+class BlockingRateEstimator {
+ public:
+  /// @param connections number of connections in the region.
+  /// @param alpha EWMA smoothing factor for the per-period raw rates.
+  BlockingRateEstimator(int connections, double alpha);
+
+  /// Ingests a snapshot taken at time `now`. The first call only
+  /// establishes a baseline; it produces no rates.
+  /// @param cumulative cumulative blocked ns per connection, monotone
+  ///   non-decreasing between calls (a reset to a smaller value is treated
+  ///   as a new baseline).
+  void ingest(TimeNs now, std::span<const DurationNs> cumulative);
+
+  /// True once at least two snapshots have been ingested.
+  bool ready() const { return ready_; }
+
+  /// Smoothed blocking rate for connection j (fraction of time blocked).
+  double rate(int j) const { return smoothed_[static_cast<std::size_t>(j)].value(); }
+
+  /// Raw (unsmoothed) rate observed in the most recent period.
+  double last_raw_rate(int j) const {
+    return last_raw_[static_cast<std::size_t>(j)];
+  }
+
+  int connections() const { return static_cast<int>(smoothed_.size()); }
+
+  /// Forgets all history (e.g. after the transport layer resets counters).
+  void reset();
+
+ private:
+  std::vector<Ewma> smoothed_;
+  std::vector<double> last_raw_;
+  std::vector<DurationNs> last_cumulative_;
+  TimeNs last_time_ = 0;
+  bool have_baseline_ = false;
+  bool ready_ = false;
+  double alpha_;
+};
+
+}  // namespace slb

@@ -1,0 +1,135 @@
+#include "core/rate_function.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/monotone_regression.h"
+
+namespace slb {
+
+RateFunction::RateFunction(RateFunctionConfig config)
+    : config_(config),
+      fitted_(static_cast<std::size_t>(kWeightUnits) + 1, 0.0) {}
+
+void RateFunction::observe(Weight w, double rate, double sample_weight) {
+  assert(w >= 0 && w <= kWeightUnits);
+  assert(rate >= 0.0);
+  if (w == 0 || sample_weight <= 0.0) return;  // origin is pinned at (0,0)
+  auto [it, inserted] = raw_.try_emplace(w, RawPoint{rate, sample_weight});
+  if (!inserted) {
+    RawPoint& p = it->second;
+    p.value = config_.mix_alpha * rate + (1.0 - config_.mix_alpha) * p.value;
+    p.weight = std::min(p.weight + sample_weight, config_.max_point_weight);
+  }
+  dirty_ = true;
+}
+
+void RateFunction::decay_above(Weight w, double factor) {
+  assert(factor >= 0.0 && factor <= 1.0);
+  bool changed = false;
+  for (auto it = raw_.upper_bound(w); it != raw_.end(); ++it) {
+    it->second.value *= factor;
+    changed = true;
+  }
+  if (changed) dirty_ = true;
+}
+
+double RateFunction::value(Weight w) const {
+  assert(w >= 0 && w <= kWeightUnits);
+  fit();
+  return fitted_[static_cast<std::size_t>(w)];
+}
+
+Weight RateFunction::service_rate() const {
+  fit();
+  return service_rate_;
+}
+
+void RateFunction::load_raw(const std::map<Weight, RawPoint>& points) {
+  raw_ = points;
+  raw_.erase(0);
+  dirty_ = true;
+}
+
+void RateFunction::reset() {
+  raw_.clear();
+  dirty_ = true;
+}
+
+const std::vector<double>& RateFunction::fitted() const {
+  fit();
+  return fitted_;
+}
+
+void RateFunction::fit() const {
+  if (!dirty_) return;
+  dirty_ = false;
+
+  // Assemble the raw points, always prepending the assumed origin (0, 0).
+  // The origin is given a large weight so the regression cannot lift it:
+  // an idle connection never blocks.
+  std::vector<Weight> xs;
+  std::vector<double> ys;
+  std::vector<double> ws;
+  xs.reserve(raw_.size() + 1);
+  ys.reserve(raw_.size() + 1);
+  ws.reserve(raw_.size() + 1);
+  xs.push_back(0);
+  ys.push_back(0.0);
+  ws.push_back(1e9);
+  for (const auto& [w, p] : raw_) {
+    xs.push_back(w);
+    ys.push_back(p.value);
+    ws.push_back(std::max(p.weight, config_.delta));
+  }
+
+  const std::vector<double> iso = isotonic_fit(ys, ws);
+
+  // Linear interpolation between observed weights; the origin's huge weight
+  // keeps iso[0] == 0 exactly.
+  std::fill(fitted_.begin(), fitted_.end(), 0.0);
+  for (std::size_t k = 0; k + 1 < xs.size(); ++k) {
+    const Weight x0 = xs[k];
+    const Weight x1 = xs[k + 1];
+    const double y0 = iso[k];
+    const double y1 = iso[k + 1];
+    for (Weight x = x0; x <= x1; ++x) {
+      const double t = (x1 == x0)
+                           ? 0.0
+                           : static_cast<double>(x - x0) /
+                                 static_cast<double>(x1 - x0);
+      fitted_[static_cast<std::size_t>(x)] = y0 + t * (y1 - y0);
+    }
+  }
+
+  // Linear extrapolation past the last observed weight, using the slope of
+  // the final segment (never negative thanks to the isotonic fit).
+  const Weight last = xs.back();
+  if (last < kWeightUnits) {
+    double slope = 0.0;
+    if (xs.size() >= 2) {
+      const Weight x0 = xs[xs.size() - 2];
+      const double y0 = iso[xs.size() - 2];
+      const double y1 = iso[xs.size() - 1];
+      if (last > x0) {
+        slope = (y1 - y0) / static_cast<double>(last - x0);
+      }
+    }
+    const double base = iso.back();
+    for (Weight x = last + 1; x <= kWeightUnits; ++x) {
+      fitted_[static_cast<std::size_t>(x)] =
+          base + slope * static_cast<double>(x - last);
+    }
+  }
+
+  // Locate the knee.
+  service_rate_ = kWeightUnits;
+  for (Weight x = 0; x <= kWeightUnits; ++x) {
+    if (fitted_[static_cast<std::size_t>(x)] > config_.delta) {
+      service_rate_ = x;
+      break;
+    }
+  }
+}
+
+}  // namespace slb

@@ -1,0 +1,103 @@
+// The per-connection blocking-rate function F_j (paper Section 5.1).
+//
+// F_j(w) predicts the blocking rate connection j experiences (or would
+// experience) when allocated weight w, for w in {0, 1, ..., kWeightUnits}
+// units of 0.1 %. It is maintained in three steps, exactly as the paper
+// describes:
+//
+//   1. New observations are smoothed into the existing *raw* data at the
+//      observed weight. The point (0, 0) is always assumed.
+//   2. The raw points are forced non-decreasing by monotone regression
+//      (PAVA, see monotone_regression.h).
+//   3. The rest of the domain is filled in by linear interpolation between
+//      observed weights and linear extrapolation beyond the last one.
+//
+// The exploration mechanism (Section 5.4) is `decay_above`: every raw value
+// beyond the current allocation weight is reduced geometrically, which —
+// combined with monotone regression — flattens the function past the
+// operating point and entices the optimizer to explore larger weights.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/types.h"
+
+namespace slb {
+
+/// One raw observation cell: the smoothed observed blocking rate at a
+/// particular weight, plus the accumulated sample weight (how much evidence
+/// backs the value).
+struct RawPoint {
+  double value = 0.0;
+  double weight = 0.0;
+};
+
+/// Tunables for RateFunction; defaults follow the paper where it is
+/// explicit and DESIGN.md where it is not.
+struct RateFunctionConfig {
+  /// Mixing factor when folding a new observation into an existing raw
+  /// point: raw = mix_alpha * new + (1 - mix_alpha) * old.
+  double mix_alpha = 0.5;
+  /// Cap on a raw point's accumulated sample weight, so very old evidence
+  /// cannot forever outvote fresh data in the isotonic fit.
+  double max_point_weight = 8.0;
+  /// Small value used when monotonicity must be forced / when comparing
+  /// near-zero rates (the paper's delta).
+  double delta = 1e-6;
+};
+
+/// A single connection's predictive blocking-rate function.
+class RateFunction {
+ public:
+  explicit RateFunction(RateFunctionConfig config = {});
+
+  /// Folds one observation into the raw data: connection was seen blocking
+  /// at `rate` (fraction of the period spent blocked) while holding
+  /// allocation weight `w`. `sample_weight` scales the evidence (the
+  /// controller gives full weight to real blocking and a configurable
+  /// smaller weight to zero observations). The fit is refreshed lazily.
+  void observe(Weight w, double rate, double sample_weight = 1.0);
+
+  /// Exploration decay: multiplies every raw value at weights strictly
+  /// greater than `w` by `factor` (the paper uses 0.9 per iteration).
+  void decay_above(Weight w, double factor);
+
+  /// Predicted blocking rate at weight `w`. Triggers a (cached) fit.
+  double value(Weight w) const;
+
+  /// The "knee" / effective service rate w_s: the smallest weight at which
+  /// the fitted function exceeds delta. Returns kWeightUnits if the
+  /// function is flat zero (no blocking ever observed).
+  Weight service_rate() const;
+
+  /// Number of distinct raw weights with recorded evidence (excluding the
+  /// assumed origin).
+  int observed_points() const { return static_cast<int>(raw_.size()); }
+
+  /// Raw data access (for cluster-function construction and tests).
+  const std::map<Weight, RawPoint>& raw() const { return raw_; }
+
+  /// Bulk-loads raw data (used when building cluster aggregate functions).
+  void load_raw(const std::map<Weight, RawPoint>& points);
+
+  /// Removes all evidence; the function returns to identically zero.
+  void reset();
+
+  const RateFunctionConfig& config() const { return config_; }
+
+  /// Entire fitted curve over {0..kWeightUnits}; mainly for tracing and
+  /// tests.
+  const std::vector<double>& fitted() const;
+
+ private:
+  void fit() const;
+
+  RateFunctionConfig config_;
+  std::map<Weight, RawPoint> raw_;  // never contains weight 0
+  mutable std::vector<double> fitted_;
+  mutable Weight service_rate_ = kWeightUnits;
+  mutable bool dirty_ = true;
+};
+
+}  // namespace slb

@@ -1,0 +1,40 @@
+// Shared vocabulary types for the load-balancing core.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace slb {
+
+/// A discrete allocation weight in units of 0.1 % of the total tuple
+/// traffic, exactly the paper's discretization (Section 5.1): the domain of
+/// every blocking-rate function is {0, 1, ..., 1000}, i.e. 1001 values.
+using Weight = int;
+
+/// Total number of resource units (R in the paper): 1000 units of 0.1 %.
+inline constexpr Weight kWeightUnits = 1000;
+
+/// Index of a splitter → worker connection within one parallel region.
+using ConnectionId = int;
+
+/// One full allocation: weights_[j] is connection j's share in 0.1 % units.
+/// A valid allocation sums to kWeightUnits.
+using WeightVector = std::vector<Weight>;
+
+/// Returns an even split of kWeightUnits over n connections; the first
+/// (kWeightUnits % n) connections receive one extra unit so the total is
+/// exact.
+inline WeightVector even_weights(int n) {
+  WeightVector w(static_cast<std::size_t>(n), kWeightUnits / n);
+  for (int j = 0; j < kWeightUnits % n; ++j) ++w[static_cast<std::size_t>(j)];
+  return w;
+}
+
+/// Sum of a weight vector.
+inline Weight total_weight(const WeightVector& w) {
+  Weight sum = 0;
+  for (Weight x : w) sum += x;
+  return sum;
+}
+
+}  // namespace slb

@@ -1,0 +1,48 @@
+#include "core/wrr.h"
+
+#include <cassert>
+
+namespace slb {
+
+SmoothWrr::SmoothWrr(int connections) : current_(connections, 0) {
+  assert(connections > 0);
+  set_weights(even_weights(connections));
+}
+
+void SmoothWrr::set_weights(const WeightVector& weights) {
+  assert(weights.size() == current_.size());
+  weights_ = weights;
+  total_ = 0;
+  for (Weight w : weights_) {
+    assert(w >= 0);
+    total_ += w;
+  }
+  // Keep the accumulated `current_` credit so weight changes do not cause
+  // a burst toward low-index connections; clamp credits of connections
+  // that just dropped to zero so they cannot be picked on residual credit.
+  for (std::size_t j = 0; j < weights_.size(); ++j) {
+    if (weights_[j] == 0 && current_[j] > 0) current_[j] = 0;
+  }
+}
+
+ConnectionId SmoothWrr::pick() {
+  if (total_ == 0) {
+    // Degenerate all-zero weights: plain round-robin.
+    const int n = connections();
+    const int choice = fallback_cursor_;
+    fallback_cursor_ = (fallback_cursor_ + 1) % n;
+    return choice;
+  }
+  int best = -1;
+  for (std::size_t j = 0; j < weights_.size(); ++j) {
+    if (weights_[j] == 0) continue;
+    current_[j] += weights_[j];
+    if (best < 0 || current_[j] > current_[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(j);
+    }
+  }
+  current_[static_cast<std::size_t>(best)] -= total_;
+  return best;
+}
+
+}  // namespace slb

@@ -1,0 +1,42 @@
+// Smooth weighted round-robin tuple routing.
+//
+// The splitter routes each tuple to one connection so that, over any
+// window, connection j receives a fraction w_j / kWeightUnits of the
+// tuples (paper Section 5.1: "round robin allocation weights"). We use the
+// interleaving scheme popularized by nginx: it is deterministic, O(N) per
+// pick, and spreads each connection's picks as evenly as possible through
+// the cycle instead of sending long bursts, which keeps per-connection
+// queue occupancy smooth.
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace slb {
+
+class SmoothWrr {
+ public:
+  /// Starts with an even split over `connections`.
+  explicit SmoothWrr(int connections);
+
+  /// Replaces the weights. Zero-weight connections are never picked while
+  /// any positive weight exists. An all-zero vector falls back to plain
+  /// round-robin so the splitter can always make progress.
+  void set_weights(const WeightVector& weights);
+
+  const WeightVector& weights() const { return weights_; }
+
+  /// Chooses the connection for the next tuple.
+  ConnectionId pick();
+
+  int connections() const { return static_cast<int>(weights_.size()); }
+
+ private:
+  WeightVector weights_;
+  std::vector<long long> current_;
+  long long total_ = 0;
+  int fallback_cursor_ = 0;
+};
+
+}  // namespace slb

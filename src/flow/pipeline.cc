@@ -1,0 +1,185 @@
+#include "flow/pipeline.h"
+
+#include <cassert>
+
+namespace slb::flow {
+
+PipelineBuilder::PipelineBuilder(PipelineConfig config) : config_(config) {}
+
+PipelineBuilder& PipelineBuilder::op(std::string name, DurationNs cost,
+                                     sim::LoadProfile load) {
+  assert(!consumed_);
+  assert(cost > 0);
+  StageSpec spec;
+  spec.name = std::move(name);
+  spec.parallel = false;
+  spec.cost = cost;
+  spec.load = std::move(load);
+  specs_.push_back(std::move(spec));
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::parallel(std::string name, int width,
+                                           DurationNs cost,
+                                           std::unique_ptr<SplitPolicy> policy,
+                                           bool ordered,
+                                           sim::LoadProfile load) {
+  assert(!consumed_);
+  assert(width > 0);
+  assert(cost > 0);
+  assert(policy != nullptr);
+  StageSpec spec;
+  spec.name = std::move(name);
+  spec.parallel = true;
+  spec.width = width;
+  spec.cost = cost;
+  spec.policy = std::move(policy);
+  spec.ordered = ordered;
+  spec.load = std::move(load);
+  specs_.push_back(std::move(spec));
+  return *this;
+}
+
+std::unique_ptr<Pipeline> PipelineBuilder::build() {
+  assert(!consumed_);
+  assert(!specs_.empty());
+  consumed_ = true;
+
+  auto pipeline = std::unique_ptr<Pipeline>(new Pipeline(config_));
+  sim::Simulator* sim = &pipeline->sim_;
+
+  sim::Channel::Config chan_cfg;
+  chan_cfg.send_capacity = config_.channel_buffer;
+  chan_cfg.recv_capacity = config_.channel_buffer;
+  chan_cfg.latency = config_.link_latency;
+
+  // Pass 1: create stage shells and their input channels.
+  for (std::size_t s = 0; s < specs_.size(); ++s) {
+    auto stage = std::make_unique<Pipeline::Stage>();
+    stage->name = specs_[s].name;
+    stage->parallel = specs_[s].parallel;
+    stage->input = std::make_unique<sim::Channel>(
+        sim, static_cast<int>(s), chan_cfg);
+    pipeline->stages_.push_back(std::move(stage));
+  }
+
+  // Pass 2: wire each stage's machinery and its output adapter.
+  pipeline->sink_.set_on_tuple([p = pipeline.get()](const sim::Tuple& t) {
+    if (p->seen_any_ && t.seq <= p->last_seq_) p->order_ok_ = false;
+    p->last_seq_ = t.seq;
+    p->seen_any_ = true;
+    p->latency_.add(static_cast<double>(p->sim_.now() - t.created));
+  });
+
+  for (std::size_t s = 0; s < specs_.size(); ++s) {
+    StageSpec& spec = specs_[s];
+    Pipeline::Stage& stage = *pipeline->stages_[s];
+
+    sim::TupleSink* downstream;
+    if (s + 1 < specs_.size()) {
+      stage.out = std::make_unique<sim::ChannelSink>(
+          pipeline->stages_[s + 1]->input.get());
+      downstream = stage.out.get();
+    } else {
+      downstream = &pipeline->sink_;
+    }
+
+    if (!spec.parallel) {
+      stage.load = std::make_unique<sim::LoadProfile>(
+          spec.load.workers() == 0 ? sim::LoadProfile(1)
+                                   : std::move(spec.load));
+      assert(stage.load->workers() == 1);
+      stage.worker = std::make_unique<sim::Worker>(
+          sim, /*id=*/0, spec.cost, stage.load.get(), nullptr);
+      stage.worker->wire(stage.input.get(), downstream, /*port=*/0);
+      continue;
+    }
+
+    // Parallel region: splitter fed by the stage input, `width` channels
+    // and workers, and an (un)ordered merger chained downstream.
+    stage.load = std::make_unique<sim::LoadProfile>(
+        spec.load.workers() == 0 ? sim::LoadProfile(spec.width)
+                                 : std::move(spec.load));
+    assert(stage.load->workers() == spec.width);
+    stage.policy = std::move(spec.policy);
+    stage.counters =
+        std::make_unique<BlockingCounterSet>(static_cast<std::size_t>(
+            spec.width));
+    stage.merger = std::make_unique<sim::Merger>(
+        sim, spec.width, sim::Merger::kUnbounded, spec.ordered);
+    stage.merger->connect_downstream(downstream);
+
+    std::vector<sim::Channel*> channel_ptrs;
+    for (int j = 0; j < spec.width; ++j) {
+      stage.channels.push_back(
+          std::make_unique<sim::Channel>(sim, j, chan_cfg));
+      stage.workers.push_back(std::make_unique<sim::Worker>(
+          sim, j, spec.cost, stage.load.get(), nullptr));
+      stage.workers.back()->wire(stage.channels.back().get(),
+                                 stage.merger.get());
+      channel_ptrs.push_back(stage.channels.back().get());
+    }
+    stage.splitter = std::make_unique<sim::Splitter>(
+        sim, stage.policy.get(), config_.source_overhead);
+    stage.splitter->wire(std::move(channel_ptrs), stage.counters.get());
+    stage.splitter->set_input(stage.input.get());
+  }
+
+  // The source is a 1-connection splitter writing into stage 0's input.
+  pipeline->source_policy_ = std::make_unique<RoundRobinPolicy>(1);
+  pipeline->source_ = std::make_unique<sim::Splitter>(
+      sim, pipeline->source_policy_.get(), config_.source_overhead,
+      config_.source_interval);
+  pipeline->source_->wire({pipeline->stages_.front()->input.get()},
+                          &pipeline->source_counters_);
+  return pipeline;
+}
+
+void Pipeline::ensure_started() {
+  if (started_) return;
+  started_ = true;
+  source_->start();
+  for (auto& stage : stages_) {
+    if (stage->parallel) stage->splitter->start();
+  }
+  sim_.schedule_after(config_.sample_period, [this] { sample_tick(); });
+}
+
+void Pipeline::sample_tick() {
+  for (auto& stage : stages_) {
+    if (!stage->parallel) continue;
+    stage->policy->on_sample(sim_.now(), stage->counters->sample());
+    std::vector<std::uint64_t> delivered;
+    delivered.reserve(stage->workers.size());
+    for (std::size_t j = 0; j < stage->workers.size(); ++j) {
+      delivered.push_back(stage->merger->emitted_from(static_cast<int>(j)));
+    }
+    stage->policy->on_throughput(sim_.now(), delivered);
+  }
+  sim_.schedule_after(config_.sample_period, [this] { sample_tick(); });
+}
+
+void Pipeline::run_for(DurationNs duration) {
+  ensure_started();
+  sim_.run_until(sim_.now() + duration);
+}
+
+std::uint64_t Pipeline::stage_processed(int s) const {
+  const Stage& stage = *stages_[static_cast<std::size_t>(s)];
+  return stage.parallel ? stage.merger->emitted()
+                        : stage.worker->processed();
+}
+
+SplitPolicy& Pipeline::stage_policy(int s) {
+  Stage& stage = *stages_[static_cast<std::size_t>(s)];
+  assert(stage.parallel);
+  return *stage.policy;
+}
+
+BlockingCounterSet& Pipeline::stage_counters(int s) {
+  Stage& stage = *stages_[static_cast<std::size_t>(s)];
+  assert(stage.parallel);
+  return *stage.counters;
+}
+
+}  // namespace slb::flow

@@ -1,0 +1,176 @@
+// A small dataflow layer over the simulator: linear pipelines of
+// operators with embedded data-parallel regions — the shape of the
+// paper's Figure 1 application (Src -> ... -> splitter -> F_1..F_N ->
+// merger -> ... -> Sink), minus task-parallel side branches.
+//
+// Every hop is a bounded TCP-like channel, so back pressure propagates
+// end to end: a slow stage eventually stalls the source, and a parallel
+// region's splitter measures per-connection blocking exactly as in a
+// standalone region. Each parallel stage runs its own routing policy
+// (LB-adaptive and friends) fed by its own counters.
+//
+//   flow::PipelineBuilder b;
+//   b.op("parse", micros(2))
+//    .parallel("score", 4, micros(20),
+//              std::make_unique<LoadBalancingPolicy>(4, ControllerConfig{}))
+//    .op("sink-prep", micros(1));
+//   auto p = b.build();
+//   p->run_for(seconds(1));
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/blocking_counter.h"
+#include "core/policies.h"
+#include "sim/channel.h"
+#include "sim/event.h"
+#include "sim/load_profile.h"
+#include "sim/merger.h"
+#include "sim/sink.h"
+#include "sim/splitter.h"
+#include "sim/worker.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace slb::flow {
+
+struct PipelineConfig {
+  /// Source pacing: 0 = closed loop (a tuple is always available).
+  DurationNs source_interval = 0;
+  /// Source per-tuple cost (bounds the maximum input rate).
+  DurationNs source_overhead = 100;
+  /// Channel buffer depth (send and receive sides) for every hop.
+  std::size_t channel_buffer = 32;
+  DurationNs link_latency = micros(2);
+  /// Sampling / policy-update period for parallel stages.
+  DurationNs sample_period = millis(10);
+};
+
+class Pipeline;
+
+class PipelineBuilder {
+ public:
+  explicit PipelineBuilder(PipelineConfig config = {});
+
+  /// Appends a single-PE operator with the given per-tuple cost.
+  /// `load` (optional, 1 worker) imposes time-varying external load.
+  PipelineBuilder& op(std::string name, DurationNs cost,
+                      sim::LoadProfile load = {});
+
+  /// Appends a data-parallel region: splitter + `width` replicas +
+  /// in-order merger (or parallel sinks when `ordered` is false),
+  /// balanced by `policy`. `load` (optional, `width` workers) imposes
+  /// per-replica external load.
+  PipelineBuilder& parallel(std::string name, int width, DurationNs cost,
+                            std::unique_ptr<SplitPolicy> policy,
+                            bool ordered = true,
+                            sim::LoadProfile load = {});
+
+  /// Assembles the pipeline. The builder is consumed.
+  std::unique_ptr<Pipeline> build();
+
+ private:
+  friend class Pipeline;
+
+  struct StageSpec {
+    std::string name;
+    bool parallel = false;
+    int width = 1;
+    DurationNs cost = 0;
+    std::unique_ptr<SplitPolicy> policy;
+    bool ordered = true;
+    sim::LoadProfile load;
+  };
+
+  PipelineConfig config_;
+  std::vector<StageSpec> specs_;
+  bool consumed_ = false;
+};
+
+/// An assembled, runnable pipeline.
+class Pipeline {
+ public:
+  /// Runs for `duration` virtual time (the source starts on first use).
+  void run_for(DurationNs duration);
+
+  /// Tuples that reached the terminal sink.
+  std::uint64_t delivered() const { return sink_.count(); }
+
+  /// True while every delivered tuple has arrived in sequence order.
+  bool order_ok() const { return order_ok_; }
+
+  int stages() const { return static_cast<int>(stages_.size()); }
+  const std::string& stage_name(int s) const {
+    return stages_[static_cast<std::size_t>(s)]->name;
+  }
+  bool stage_is_parallel(int s) const {
+    return stages_[static_cast<std::size_t>(s)]->parallel;
+  }
+  /// Tuples the stage has fully processed (for parallel stages: released
+  /// by its merger).
+  std::uint64_t stage_processed(int s) const;
+
+  /// The routing policy of a parallel stage (asserts on op stages).
+  SplitPolicy& stage_policy(int s);
+  /// The blocking counters of a parallel stage (asserts on op stages).
+  BlockingCounterSet& stage_counters(int s);
+
+  sim::Simulator& simulator() { return sim_; }
+  TimeNs now() const { return sim_.now(); }
+
+  /// Cumulative time the *source* spent blocked: end-to-end back
+  /// pressure reaching the front of the pipeline.
+  DurationNs source_blocked() const {
+    return source_counters_.at(0).cumulative();
+  }
+
+  /// End-to-end tuple latency (source release -> terminal sink), over
+  /// every delivered tuple.
+  const RunningStats& latency() const { return latency_; }
+
+ private:
+  friend class PipelineBuilder;
+
+  struct Stage {
+    std::string name;
+    bool parallel = false;
+    std::unique_ptr<sim::Channel> input;  // upstream writes, stage reads
+    std::unique_ptr<sim::TupleSink> out;  // adapter into the next input
+    std::unique_ptr<sim::LoadProfile> load;
+
+    // Op stages:
+    std::unique_ptr<sim::Worker> worker;
+
+    // Parallel stages:
+    std::unique_ptr<SplitPolicy> policy;
+    std::unique_ptr<BlockingCounterSet> counters;
+    std::unique_ptr<sim::Splitter> splitter;
+    std::vector<std::unique_ptr<sim::Channel>> channels;
+    std::vector<std::unique_ptr<sim::Worker>> workers;
+    std::unique_ptr<sim::Merger> merger;
+  };
+
+  explicit Pipeline(PipelineConfig config) : config_(config) {}
+
+  void ensure_started();
+  void sample_tick();
+
+  PipelineConfig config_;
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+
+  std::unique_ptr<RoundRobinPolicy> source_policy_;
+  BlockingCounterSet source_counters_{1};
+  std::unique_ptr<sim::Splitter> source_;
+
+  sim::CountingSink sink_;
+  RunningStats latency_;
+  std::uint64_t last_seq_ = 0;
+  bool seen_any_ = false;
+  bool order_ok_ = true;
+  bool started_ = false;
+};
+
+}  // namespace slb::flow

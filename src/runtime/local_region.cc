@@ -1,0 +1,196 @@
+#include "runtime/local_region.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "transport/framing.h"
+
+namespace slb::rt {
+
+LocalRegion::LocalRegion(LocalRegionConfig config,
+                         std::unique_ptr<SplitPolicy> policy)
+    : config_(config),
+      policy_(std::move(policy)),
+      counters_(static_cast<std::size_t>(config.workers)) {
+  assert(config_.workers > 0);
+  assert(policy_ != nullptr);
+
+  // Topology bring-up: a listener per worker for the splitter connection,
+  // one listener at the merger side for the worker->merger connections.
+  net::Listener merger_listener;
+  std::vector<net::Fd> worker_to_merger;
+  std::vector<net::Fd> merger_from_worker;
+  for (int j = 0; j < config_.workers; ++j) {
+    worker_to_merger.push_back(
+        net::connect_loopback(merger_listener.port()));
+    merger_from_worker.push_back(merger_listener.accept_one());
+  }
+
+  for (int j = 0; j < config_.workers; ++j) {
+    net::Listener worker_listener;
+    net::Fd splitter_side = net::connect_loopback(worker_listener.port());
+    net::Fd worker_side = worker_listener.accept_one();
+
+    net::set_nodelay(splitter_side.get());
+    net::set_send_buffer(splitter_side.get(), config_.socket_buffer_bytes);
+    net::set_recv_buffer(worker_side.get(), config_.socket_buffer_bytes);
+    net::set_nodelay(worker_to_merger[static_cast<std::size_t>(j)].get());
+
+    senders_.push_back(std::make_unique<net::InstrumentedSender>(
+        splitter_side.get(), &counters_.at(static_cast<std::size_t>(j))));
+    to_workers_.push_back(std::move(splitter_side));
+    workers_.push_back(std::make_unique<WorkerPe>(
+        j, std::move(worker_side),
+        std::move(worker_to_merger[static_cast<std::size_t>(j)]),
+        config_.multiplies, config_.work_mode));
+  }
+  merger_ = std::make_unique<MergerPe>(std::move(merger_from_worker));
+  pending_.resize(static_cast<std::size_t>(config_.workers));
+}
+
+void LocalRegion::flush_pending(int k, bool blocking) {
+  auto& buf = pending_[static_cast<std::size_t>(k)];
+  if (buf.empty()) return;
+  auto& sender = *senders_[static_cast<std::size_t>(k)];
+  if (blocking) {
+    sender.send_all(buf.data(), buf.size());
+    buf.clear();
+    return;
+  }
+  const std::size_t accepted = sender.try_send(buf.data(), buf.size());
+  buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(accepted));
+}
+
+LocalRegion::~LocalRegion() {
+  // PEs join in their own destructors; close splitter sockets first so
+  // any worker still reading sees EOF.
+  to_workers_.clear();
+}
+
+LocalRunStats LocalRegion::run(DurationNs duration) {
+  if (ran_) throw std::logic_error("LocalRegion::run is one-shot");
+  ran_ = true;
+
+  std::vector<LoadEvent> events = config_.load_events;
+  std::sort(events.begin(), events.end(),
+            [](const LoadEvent& a, const LoadEvent& b) { return a.at < b.at; });
+  std::size_t next_event = 0;
+
+  const TimeNs start = monotonic_now();
+  TimeNs next_sample = start + config_.sample_period;
+  std::vector<DurationNs> prev_blocked(
+      static_cast<std::size_t>(config_.workers), 0);
+
+  LocalRunStats stats;
+  net::Frame frame;
+  frame.payload.assign(config_.payload_bytes, 0xAB);
+  std::vector<std::uint8_t> wire;
+
+  const int n = config_.workers;
+  for (;;) {
+    // Time-driven bookkeeping, checked every iteration (a clock read per
+    // tuple is ~20 ns, negligible next to a TCP send).
+    const TimeNs now = monotonic_now();
+    if (now - start >= duration) break;
+    while (next_event < events.size() &&
+           now - start >= events[next_event].at) {
+      workers_[static_cast<std::size_t>(events[next_event].worker)]
+          ->set_load_multiplier(events[next_event].multiplier);
+      ++next_event;
+    }
+    if (now >= next_sample) {
+      const std::vector<DurationNs> cumulative = counters_.sample();
+      policy_->on_sample(now - start, cumulative);
+      if (sample_hook_) {
+        LocalSample sample;
+        sample.elapsed = now - start;
+        sample.weights = policy_->weights();
+        sample.block_rates.reserve(static_cast<std::size_t>(n));
+        // A long blocking episode can push us several periods past
+        // next_sample; normalize by the *actual* elapsed span.
+        const DurationNs span =
+            config_.sample_period + (now - next_sample);
+        for (int j = 0; j < n; ++j) {
+          const auto ju = static_cast<std::size_t>(j);
+          sample.block_rates.push_back(
+              static_cast<double>(cumulative[ju] - prev_blocked[ju]) /
+              static_cast<double>(span));
+          prev_blocked[ju] = cumulative[ju];
+        }
+        sample.emitted = merger_->emitted();
+        sample_hook_(sample);
+      }
+      next_sample = now + config_.sample_period;
+    }
+
+    frame.seq = stats.sent;
+    wire.clear();
+    net::encode_frame(frame, wire);
+
+    const int j = policy_->pick_connection();
+    if (policy_->reroute_on_block()) {
+      // Section 4.4 baseline: divert whole frames to any connection whose
+      // kernel buffer accepts them without blocking. A partially-accepted
+      // frame must finish on the same socket before anything else goes
+      // there, so remainders sit in a per-connection userspace buffer
+      // (mirroring a transport layer's output queue) and are flushed
+      // opportunistically; a connection with pending bytes is skipped by
+      // the re-route scan.
+      for (int k = 0; k < n; ++k) flush_pending(k, /*blocking=*/false);
+      int target = -1;
+      for (int step = 0; step < n; ++step) {
+        const int k = (j + step) % n;
+        const auto ku = static_cast<std::size_t>(k);
+        if (!pending_[ku].empty()) continue;
+        const std::size_t accepted =
+            senders_[ku]->try_send(wire.data(), wire.size());
+        if (accepted == wire.size()) {
+          target = k;
+          break;
+        }
+        if (accepted > 0) {
+          pending_[ku].assign(wire.begin() +
+                                  static_cast<std::ptrdiff_t>(accepted),
+                              wire.end());
+          target = k;
+          break;
+        }
+      }
+      if (target < 0) {
+        // Everything is full: elect to block on the picked connection,
+        // exactly like the paper's splitter.
+        flush_pending(j, /*blocking=*/true);
+        senders_[static_cast<std::size_t>(j)]->send_all(wire.data(),
+                                                        wire.size());
+        target = j;
+      }
+      if (target != j) ++stats.rerouted;
+    } else {
+      senders_[static_cast<std::size_t>(j)]->send_all(wire.data(),
+                                                      wire.size());
+    }
+    ++stats.sent;
+  }
+
+  // Shutdown: switch workers to fast-drain (forward buffered tuples
+  // without paying their processing cost), flush any re-routing
+  // remainders, FIN every worker, then wait for the merger to drain.
+  for (auto& w : workers_) w->fast_drain();
+  const std::vector<std::uint8_t> fin = net::fin_bytes();
+  for (int j = 0; j < n; ++j) {
+    flush_pending(j, /*blocking=*/true);
+    senders_[static_cast<std::size_t>(j)]->send_all(fin.data(), fin.size());
+  }
+  for (auto& w : workers_) w->join();
+  merger_->join();
+
+  stats.elapsed = monotonic_now() - start;
+  stats.emitted = merger_->emitted();
+  stats.order_ok = merger_->order_ok() && stats.emitted == stats.sent;
+  stats.blocked = counters_.sample();
+  stats.final_weights = policy_->weights();
+  return stats;
+}
+
+}  // namespace slb::rt

@@ -1,0 +1,115 @@
+// A complete parallel region of the threaded runtime, assembled over real
+// loopback TCP: the splitter (run on the calling thread), N worker PE
+// threads, and the merger PE thread.
+//
+//   splitter ==TCP==> worker_0..N-1 ==TCP==> merger
+//
+// Substitution note (DESIGN.md): the paper runs PEs as processes across a
+// cluster; we run them as threads in one process over 127.0.0.1. The
+// kernel socket path — buffers, flow control, EAGAIN — is the same, which
+// is all the blocking-rate mechanism observes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/blocking_counter.h"
+#include "core/policies.h"
+#include "runtime/merger_pe.h"
+#include "runtime/worker_pe.h"
+#include "transport/instrumented_sender.h"
+#include "util/time.h"
+
+namespace slb::rt {
+
+/// One scheduled external-load change, relative to run() start.
+struct LoadEvent {
+  DurationNs at = 0;
+  int worker = 0;
+  double multiplier = 1.0;
+};
+
+struct LocalRegionConfig {
+  int workers = 2;
+  /// Dependent integer multiplies per tuple (the paper's base cost).
+  long multiplies = 10000;
+  /// kSpin burns real CPU (paper-faithful); kSleep waits the equivalent
+  /// time, keeping capacities stable on machines with fewer cores than
+  /// PEs (see WorkMode).
+  WorkMode work_mode = WorkMode::kSpin;
+  /// Tuple payload size on the wire (plus the 12-byte frame header).
+  std::size_t payload_bytes = 64;
+  /// Kernel send/receive buffer request per socket; small values make
+  /// back pressure (and therefore blocking) visible quickly.
+  int socket_buffer_bytes = 16 * 1024;
+  /// How often the splitter samples counters and updates the policy.
+  DurationNs sample_period = millis(100);
+  /// External-load schedule applied during run().
+  std::vector<LoadEvent> load_events;
+};
+
+/// Result of one run.
+struct LocalRunStats {
+  std::uint64_t sent = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t rerouted = 0;
+  DurationNs elapsed = 0;
+  bool order_ok = false;
+  /// Cumulative blocked ns per connection at the end of the run.
+  std::vector<DurationNs> blocked;
+  /// Final allocation weights.
+  WeightVector final_weights;
+};
+
+/// Sample-time snapshot passed to the optional hook.
+struct LocalSample {
+  DurationNs elapsed = 0;
+  WeightVector weights;
+  std::vector<double> block_rates;
+  std::uint64_t emitted = 0;
+};
+
+class LocalRegion {
+ public:
+  LocalRegion(LocalRegionConfig config, std::unique_ptr<SplitPolicy> policy);
+  ~LocalRegion();
+
+  LocalRegion(const LocalRegion&) = delete;
+  LocalRegion& operator=(const LocalRegion&) = delete;
+
+  /// Called once per sample period from the splitter thread.
+  void set_sample_hook(std::function<void(const LocalSample&)> hook) {
+    sample_hook_ = std::move(hook);
+  }
+
+  /// Runs the splitter loop for `duration` wall time on the calling
+  /// thread, then shuts the pipeline down and joins all PEs. One-shot.
+  LocalRunStats run(DurationNs duration);
+
+  SplitPolicy& policy() { return *policy_; }
+  BlockingCounterSet& counters() { return counters_; }
+  MergerPe& merger() { return *merger_; }
+  WorkerPe& worker(int j) { return *workers_[static_cast<std::size_t>(j)]; }
+
+ private:
+  /// Drains connection k's userspace remainder buffer (re-routing mode).
+  /// Non-blocking mode sends what the kernel accepts; blocking mode
+  /// finishes the whole remainder (blocked time is recorded as usual).
+  void flush_pending(int k, bool blocking);
+
+  LocalRegionConfig config_;
+  std::unique_ptr<SplitPolicy> policy_;
+  BlockingCounterSet counters_;
+  std::vector<std::vector<std::uint8_t>> pending_;
+
+  std::vector<net::Fd> to_workers_;
+  std::vector<std::unique_ptr<net::InstrumentedSender>> senders_;
+  std::vector<std::unique_ptr<WorkerPe>> workers_;
+  std::unique_ptr<MergerPe> merger_;
+  std::function<void(const LocalSample&)> sample_hook_;
+  bool ran_ = false;
+};
+
+}  // namespace slb::rt

@@ -1,0 +1,117 @@
+#include "runtime/merger_pe.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <deque>
+
+#include "transport/framing.h"
+#include "util/log.h"
+
+namespace slb::rt {
+
+MergerPe::MergerPe(std::vector<net::Fd> from_workers)
+    : from_workers_(std::move(from_workers)) {
+  thread_ = std::thread([this] { run(); });
+}
+
+MergerPe::~MergerPe() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void MergerPe::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void MergerPe::run() {
+  try {
+    const std::size_t n = from_workers_.size();
+    std::vector<net::FrameDecoder> decoders(n);
+    std::vector<std::deque<std::uint64_t>> queues(n);
+    std::vector<bool> finished(n, false);
+    std::vector<std::uint8_t> buf(64 * 1024);
+    std::uint64_t expected = 0;
+    std::size_t open = n;
+
+    std::vector<pollfd> pfds(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      pfds[j].fd = from_workers_[j].get();
+      pfds[j].events = POLLIN;
+    }
+
+    net::Frame frame;
+    while (open > 0) {
+      const int rc = ::poll(pfds.data(), pfds.size(), 1000);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        if (finished[j] || !(pfds[j].revents & (POLLIN | POLLHUP))) continue;
+        const ssize_t got =
+            ::read(from_workers_[j].get(), buf.data(), buf.size());
+        if (got <= 0) {
+          finished[j] = true;
+          pfds[j].fd = -1;
+          --open;
+          continue;
+        }
+        decoders[j].feed(buf.data(), static_cast<std::size_t>(got));
+        while (decoders[j].next(frame)) {
+          if (frame.is_fin()) {
+            finished[j] = true;
+            pfds[j].fd = -1;
+            --open;
+            break;
+          }
+          queues[j].push_back(frame.seq);
+          max_depth_.store(
+              std::max(max_depth_.load(std::memory_order_relaxed),
+                       queues[j].size()),
+              std::memory_order_relaxed);
+        }
+      }
+
+      // Release in global sequence order: the expected tuple can only be
+      // at the head of one of the per-connection FIFOs.
+      bool progressed = true;
+      while (progressed) {
+        progressed = false;
+        for (std::size_t j = 0; j < n; ++j) {
+          while (!queues[j].empty() && queues[j].front() == expected) {
+            if (queues[j].front() < expected) {
+              order_ok_.store(false, std::memory_order_relaxed);
+            }
+            queues[j].pop_front();
+            ++expected;
+            emitted_.fetch_add(1, std::memory_order_relaxed);
+            progressed = true;
+          }
+        }
+      }
+    }
+
+    // Flush anything still queued (all inputs closed; remaining tuples
+    // must already be in order across queues).
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!queues[j].empty() && queues[j].front() == expected) {
+          queues[j].pop_front();
+          ++expected;
+          emitted_.fetch_add(1, std::memory_order_relaxed);
+          progressed = true;
+        }
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!queues[j].empty()) order_ok_.store(false, std::memory_order_relaxed);
+    }
+  } catch (const std::exception& e) {
+    SLB_ERROR() << "merger died: " << e.what();
+  }
+  done_.store(true, std::memory_order_release);
+}
+
+}  // namespace slb::rt

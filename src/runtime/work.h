@@ -1,0 +1,22 @@
+// The synthetic tuple workload of the paper's evaluation: a chain of
+// dependent integer multiplies ("base cost of 1,000 integer multiplies").
+// The serial dependency prevents instruction-level parallelism from
+// collapsing the cost, so n multiplies take ~n multiply latencies.
+#pragma once
+
+#include <cstdint>
+
+namespace slb::rt {
+
+/// Performs `n` dependent integer multiply-adds starting from `seed` and
+/// returns the result (callers must consume it so the work is not
+/// dead-code-eliminated).
+inline std::uint64_t spin_multiplies(std::uint64_t seed, long n) {
+  std::uint64_t x = seed | 1;
+  for (long i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  return x;
+}
+
+}  // namespace slb::rt

@@ -1,0 +1,44 @@
+#include "sim/channel.h"
+
+#include <cassert>
+
+namespace slb::sim {
+
+Channel::Channel(Simulator* sim, int id, Config config)
+    : sim_(sim),
+      id_(id),
+      config_(config),
+      send_q_(config.send_capacity),
+      recv_q_(config.recv_capacity) {
+  assert(sim != nullptr);
+}
+
+void Channel::push_send(Tuple t) {
+  send_q_.push(t);
+  pump();
+}
+
+Tuple Channel::pop_recv() {
+  Tuple t = recv_q_.pop();
+  pump();  // a receive slot just freed; more data may flow
+  return t;
+}
+
+void Channel::pump() {
+  bool freed_send_space = false;
+  while (!send_q_.empty() &&
+         recv_q_.size() + in_flight_ < recv_q_.capacity()) {
+    const Tuple t = send_q_.pop();
+    freed_send_space = true;
+    ++in_flight_;
+    sim_->schedule_after(config_.latency, [this, t] {
+      assert(in_flight_ > 0);
+      --in_flight_;
+      recv_q_.push(t);
+      if (on_recv_ready_) on_recv_ready_();
+    });
+  }
+  if (freed_send_space && on_send_space_) on_send_space_();
+}
+
+}  // namespace slb::sim

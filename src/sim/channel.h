@@ -1,0 +1,77 @@
+// A simulated TCP connection from the splitter to one worker PE.
+//
+// Two bounded buffers model the kernel socket buffers on either end of a
+// real TCP connection (the paper, Section 4.4, attributes the lateness of
+// the blocking signal to exactly these "numerous system buffers"):
+//
+//   splitter --push_send--> [send buffer] --latency--> [recv buffer] --> worker
+//
+// A tuple leaves the send buffer only when the receive side has room
+// (TCP flow control); while in transit it occupies a reserved receive
+// slot. The splitter blocks when the send buffer is full — and the time it
+// spends blocked is the paper's load-balancing signal.
+#pragma once
+
+#include <functional>
+
+#include "sim/event.h"
+#include "sim/queues.h"
+#include "sim/tuple.h"
+#include "util/time.h"
+
+namespace slb::sim {
+
+class Channel {
+ public:
+  struct Config {
+    std::size_t send_capacity = 32;
+    std::size_t recv_capacity = 32;
+    DurationNs latency = 2'000;  // 2 us: a fast datacenter interconnect
+  };
+
+  Channel(Simulator* sim, int id, Config config);
+
+  /// Wiring: invoked when the send buffer may have gained space (the
+  /// splitter's wake-up) and when the receive buffer gained a tuple (the
+  /// worker's wake-up). Both are called from within simulator events.
+  void set_on_send_space(std::function<void()> fn) {
+    on_send_space_ = std::move(fn);
+  }
+  void set_on_recv_ready(std::function<void()> fn) {
+    on_recv_ready_ = std::move(fn);
+  }
+
+  int id() const { return id_; }
+  bool send_full() const { return send_q_.full(); }
+  bool recv_empty() const { return recv_q_.empty(); }
+  std::size_t send_size() const { return send_q_.size(); }
+  std::size_t recv_size() const { return recv_q_.size(); }
+  std::size_t in_flight() const { return in_flight_; }
+
+  /// Total tuples queued anywhere inside the connection.
+  std::size_t occupancy() const {
+    return send_q_.size() + in_flight_ + recv_q_.size();
+  }
+
+  /// Splitter pushes one tuple; caller must have checked !send_full().
+  void push_send(Tuple t);
+
+  /// Worker takes the next delivered tuple; caller must have checked
+  /// !recv_empty(). Freeing the receive slot may resume transfers.
+  Tuple pop_recv();
+
+ private:
+  /// Starts every transfer currently permitted by flow control.
+  void pump();
+
+  Simulator* sim_;
+  int id_;
+  Config config_;
+  BoundedFifo<Tuple> send_q_;
+  BoundedFifo<Tuple> recv_q_;
+  std::size_t in_flight_ = 0;
+  std::function<void()> on_send_space_;
+  std::function<void()> on_recv_ready_;
+};
+
+}  // namespace slb::sim

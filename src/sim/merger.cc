@@ -1,0 +1,93 @@
+#include "sim/merger.h"
+
+#include <cassert>
+
+namespace slb::sim {
+
+Merger::Merger(Simulator* sim, int connections, std::size_t capacity,
+               bool ordered)
+    : sim_(sim),
+      on_space_(static_cast<std::size_t>(connections)),
+      emitted_from_(static_cast<std::size_t>(connections), 0),
+      ordered_(ordered) {
+  assert(sim != nullptr);
+  assert(connections > 0);
+  queues_.reserve(static_cast<std::size_t>(connections));
+  for (int j = 0; j < connections; ++j) queues_.emplace_back(capacity);
+}
+
+void Merger::set_on_space(int j, std::function<void()> fn) {
+  on_space_[static_cast<std::size_t>(j)] = std::move(fn);
+}
+
+void Merger::connect_downstream(TupleSink* downstream) {
+  downstream_ = downstream;
+  // When the downstream frees space, resume draining (ordered mode) —
+  // a zero-delay event keeps the call stack flat.
+  downstream_->set_on_space(0, [this] {
+    sim_->schedule_after(0, [this] { drain(); });
+  });
+}
+
+bool Merger::emit(int from, const Tuple& t) {
+  if (downstream_ != nullptr && !downstream_->offer(0, t)) return false;
+  ++emitted_;
+  ++emitted_from_[static_cast<std::size_t>(from)];
+  if (on_emit_) on_emit_(t);
+  return true;
+}
+
+bool Merger::try_push(int j, Tuple t) {
+  auto& q = queues_[static_cast<std::size_t>(j)];
+  if (q.full()) return false;
+  // Ordered: queue and release strictly by sequence number. Unordered
+  // (parallel sinks): the same machinery with no sequence gating — the
+  // queue only holds tuples the downstream refused.
+  q.push(t);
+  drain();
+  return true;
+}
+
+void Merger::drain() {
+  // Emit while the next-expected tuple sits at the head of some queue.
+  // Within one connection tuples arrive in send order, so only queue heads
+  // can hold the expected sequence number.
+  const std::size_t n = queues_.size();
+  std::vector<bool> freed(n, false);
+  bool progressed = true;
+  bool downstream_full = false;
+  while (progressed && !downstream_full) {
+    progressed = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      auto& q = queues_[j];
+      if (ordered_) {
+        while (!q.empty() && q.front().seq == expected_) {
+          if (!emit(static_cast<int>(j), q.front())) {
+            downstream_full = true;
+            break;
+          }
+          (void)q.pop();
+          freed[j] = true;
+          ++expected_;
+          progressed = true;
+        }
+        if (downstream_full) break;
+      } else {
+        while (!q.empty() && emit(static_cast<int>(j), q.front())) {
+          (void)q.pop();
+          freed[j] = true;
+          progressed = true;
+        }
+      }
+    }
+  }
+  // Un-stall workers whose queues gained space — decoupled through the
+  // event queue so a long drain cannot recurse through worker code.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (freed[j] && on_space_[j]) {
+      sim_->schedule_after(0, on_space_[j]);
+    }
+  }
+}
+
+}  // namespace slb::sim

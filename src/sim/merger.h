@@ -1,0 +1,89 @@
+// The in-order merger at the back of a parallel region (paper Section 4.1).
+//
+// Sequential semantics: tuples must leave the region in splitter send
+// order. Each connection has a bounded FIFO of processed-but-unreleased
+// tuples; the merger emits the tuple whose sequence number is next, no
+// matter how many tuples from faster connections sit queued behind a slow
+// one. Those bounded queues propagate back pressure to the workers — the
+// merger is why per-connection throughput carries no load information
+// (Section 4.3) and why the whole region is gated by its slowest worker.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event.h"
+#include "sim/queues.h"
+#include "sim/sink.h"
+#include "sim/tuple.h"
+
+namespace slb::sim {
+
+class Merger : public TupleSink {
+ public:
+  /// Effectively-unbounded reorder queues: the eager-reading merger of the
+  /// paper's implementation (blocking happens at the splitter, not here).
+  static constexpr std::size_t kUnbounded = std::size_t{1} << 40;
+
+  /// @param connections number of worker connections feeding the merger.
+  /// @param capacity per-connection reorder-queue capacity in tuples.
+  /// @param ordered when false the region ends in parallel sinks (the
+  ///   paper's Section 4.1 footnote): tuples are released immediately in
+  ///   arrival order with no sequence gating. Per-connection throughput
+  ///   then becomes a meaningful signal again — see Section 4.3.
+  Merger(Simulator* sim, int connections, std::size_t capacity,
+         bool ordered = true);
+
+  /// Called when connection j's reorder queue frees at least one slot;
+  /// used to un-stall worker j. Invoked as a zero-delay event.
+  void set_on_space(int j, std::function<void()> fn) override;
+
+  /// TupleSink: workers offer processed tuples here.
+  bool offer(int from, Tuple t) override { return try_push(from, t); }
+
+  /// Chains the merger's output into a downstream sink with back
+  /// pressure (pipeline composition). Without one, emitted tuples are
+  /// only counted/reported via set_on_emit.
+  void connect_downstream(TupleSink* downstream);
+
+  /// Called synchronously for every tuple emitted downstream, in sequence
+  /// order.
+  void set_on_emit(std::function<void(const Tuple&)> fn) {
+    on_emit_ = std::move(fn);
+  }
+
+  /// Worker j offers a processed tuple. Returns false when j's reorder
+  /// queue is full — the worker must hold the tuple and retry when poked.
+  bool try_push(int j, Tuple t);
+
+  std::uint64_t emitted() const { return emitted_; }
+  std::uint64_t expected_seq() const { return expected_; }
+  std::size_t queue_size(int j) const {
+    return queues_[static_cast<std::size_t>(j)].size();
+  }
+
+  /// Tuples released downstream that arrived via connection j.
+  std::uint64_t emitted_from(int j) const {
+    return emitted_from_[static_cast<std::size_t>(j)];
+  }
+
+  bool ordered() const { return ordered_; }
+
+ private:
+  void drain();
+  /// Delivers one tuple downstream; false when the downstream refuses.
+  bool emit(int from, const Tuple& t);
+
+  Simulator* sim_;
+  std::vector<BoundedFifo<Tuple>> queues_;
+  std::vector<std::function<void()>> on_space_;
+  std::function<void(const Tuple&)> on_emit_;
+  TupleSink* downstream_ = nullptr;
+  std::vector<std::uint64_t> emitted_from_;
+  std::uint64_t expected_ = 0;
+  std::uint64_t emitted_ = 0;
+  bool ordered_ = true;
+};
+
+}  // namespace slb::sim

@@ -1,0 +1,137 @@
+#include "sim/region.h"
+
+#include <cassert>
+
+namespace slb::sim {
+
+Region::Region(RegionConfig config, std::unique_ptr<SplitPolicy> policy,
+               LoadProfile load, HostModel hosts, Simulator* external_sim,
+               SharedPlacement shared)
+    : config_(config),
+      policy_(std::move(policy)),
+      load_(std::move(load)),
+      hosts_(std::move(hosts)),
+      owned_sim_(external_sim == nullptr ? std::make_unique<Simulator>()
+                                         : nullptr),
+      sim_(external_sim == nullptr ? owned_sim_.get() : external_sim),
+      counters_(static_cast<std::size_t>(config.workers)) {
+  assert(config_.workers > 0);
+  assert(policy_ != nullptr);
+  if (load_.workers() == 0) load_ = LoadProfile(config_.workers);
+  assert(load_.workers() == config_.workers);
+  if (shared.hosts != nullptr) {
+    assert(static_cast<int>(shared.host_of.size()) == config_.workers);
+  }
+
+  Channel::Config chan_cfg;
+  chan_cfg.send_capacity = config_.send_buffer;
+  chan_cfg.recv_capacity = config_.recv_buffer;
+  chan_cfg.latency = config_.link_latency;
+
+  const std::size_t merge_cap =
+      config_.merge_buffer == 0 ? Merger::kUnbounded : config_.merge_buffer;
+  merger_ = std::make_unique<Merger>(sim_, config_.workers, merge_cap,
+                                     config_.ordered);
+  std::vector<Channel*> channel_ptrs;
+  channel_ptrs.reserve(static_cast<std::size_t>(config_.workers));
+  for (int j = 0; j < config_.workers; ++j) {
+    channels_.push_back(std::make_unique<Channel>(sim_, j, chan_cfg));
+    workers_.push_back(std::make_unique<Worker>(sim_, j, config_.base_cost,
+                                                &load_, &hosts_));
+    workers_.back()->wire(channels_.back().get(), merger_.get());
+    if (shared.hosts != nullptr) {
+      workers_.back()->bind_shared_host(
+          shared.hosts, shared.host_of[static_cast<std::size_t>(j)]);
+    }
+    channel_ptrs.push_back(channels_.back().get());
+  }
+  splitter_ = std::make_unique<Splitter>(sim_, policy_.get(),
+                                         config_.send_overhead,
+                                         config_.source_interval);
+  splitter_->wire(std::move(channel_ptrs), &counters_);
+
+  prev_cumulative_.assign(static_cast<std::size_t>(config_.workers), 0);
+  last_rates_.assign(static_cast<std::size_t>(config_.workers), 0.0);
+
+  merger_->set_on_emit([this](const Tuple& t) {
+    const std::uint64_t emitted = merger_->emitted();
+    const double lat = static_cast<double>(sim_->now() - t.created);
+    latency_.add(lat);
+    if (emitted % 8 == 0) latency_samples_.add(lat);
+    for (EmitTrigger& trigger : emit_triggers_) {
+      if (!trigger.fired && emitted >= trigger.threshold) {
+        trigger.fired = true;
+        trigger.fn();
+      }
+    }
+    if (stop_target_ != 0 && emitted >= stop_target_) {
+      target_reached_at_ = sim_->now();
+      sim_->stop();
+    }
+  });
+}
+
+void Region::at_emitted(std::uint64_t threshold, std::function<void()> fn) {
+  emit_triggers_.push_back(EmitTrigger{threshold, std::move(fn), false});
+}
+
+void Region::ensure_started() {
+  if (started_) return;
+  started_ = true;
+  splitter_->start();
+  sim_->schedule_after(config_.sample_period, [this] { sample_tick(); });
+}
+
+void Region::sample_tick() {
+  const std::vector<DurationNs> cumulative = counters_.sample();
+
+  // Region-level per-period diagnostics (kept separate from the policy's
+  // own estimator so RR runs report blocking rates too).
+  for (std::size_t j = 0; j < cumulative.size(); ++j) {
+    const DurationNs delta = cumulative[j] - prev_cumulative_[j];
+    last_rates_[j] = static_cast<double>(delta) /
+                     static_cast<double>(config_.sample_period);
+    prev_cumulative_[j] = cumulative[j];
+  }
+  emitted_last_period_ = merger_->emitted() - prev_emitted_;
+  prev_emitted_ = merger_->emitted();
+
+  policy_->on_sample(sim_->now(), cumulative);
+  std::vector<std::uint64_t> delivered(
+      static_cast<std::size_t>(config_.workers));
+  for (int j = 0; j < config_.workers; ++j) {
+    delivered[static_cast<std::size_t>(j)] = merger_->emitted_from(j);
+  }
+  policy_->on_throughput(sim_->now(), delivered);
+  if (sample_hook_) sample_hook_(*this);
+
+  sim_->schedule_after(config_.sample_period, [this] { sample_tick(); });
+}
+
+void Region::run_for(DurationNs duration) {
+  ensure_started();
+  sim_->run_until(sim_->now() + duration);
+}
+
+RunResult Region::run_until_emitted(std::uint64_t target, TimeNs deadline) {
+  ensure_started();
+  RunResult result;
+  if (merger_->emitted() >= target) {
+    result.reached_target = true;
+    result.emitted = merger_->emitted();
+    result.finish_time = sim_->now();
+    return result;
+  }
+  stop_target_ = target;
+  target_reached_at_ = -1;
+  sim_->run_while(deadline);
+  stop_target_ = 0;
+
+  result.emitted = merger_->emitted();
+  result.reached_target = target_reached_at_ >= 0;
+  result.finish_time =
+      result.reached_target ? target_reached_at_ : deadline;
+  return result;
+}
+
+}  // namespace slb::sim

@@ -1,0 +1,202 @@
+// A complete simulated data-parallel region: splitter, N TCP-like
+// channels, N workers, in-order merger — plus the periodic sampling loop
+// that feeds blocking counters to the routing policy. This is the
+// simulator-facing top of the public API; every experiment in the paper
+// is a Region configuration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/blocking_counter.h"
+#include "core/policies.h"
+#include "sim/channel.h"
+#include "sim/event.h"
+#include "sim/host.h"
+#include "sim/load_profile.h"
+#include "sim/merger.h"
+#include "sim/shared_host.h"
+#include "sim/splitter.h"
+#include "sim/worker.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace slb::sim {
+
+struct RegionConfig {
+  int workers = 2;
+
+  /// Per-tuple service time at multiplier 1 on a speed-1 host. The
+  /// harness maps the paper's "n integer multiplies" onto this.
+  DurationNs base_cost = micros(10);
+
+  /// Buffer sizes in tuples (see DESIGN.md: defaults ablated in
+  /// bench/ablation_buffers).
+  std::size_t send_buffer = 32;
+  std::size_t recv_buffer = 32;
+
+  /// When false the region ends in parallel sinks (Section 4.1 footnote):
+  /// no sequence gating, tuples leave in arrival order. The back-pressure
+  /// topology changes completely — see Section 4.3.
+  bool ordered = true;
+
+  /// Per-connection merger reorder-queue capacity; 0 = unbounded.
+  ///
+  /// The paper's merger reads eagerly from its sockets into application
+  /// queues, so back pressure reaches the splitter only through the
+  /// connection that is actually slow ("it is an artifact of our
+  /// implementation *where* we block", Section 4.3). Unbounded reorder
+  /// queues reproduce that: blocking concentrates on the slow/draft-leader
+  /// connection instead of smearing across all of them. A finite value
+  /// models the alternative block-at-the-merger design (ablated in
+  /// bench/ablation_buffers).
+  std::size_t merge_buffer = 0;
+
+  DurationNs link_latency = micros(2);
+
+  /// Splitter per-tuple cost; bounds the region's maximum input rate.
+  DurationNs send_overhead = 100;
+
+  /// Upstream source pacing: 0 = closed loop (paper's experiments);
+  /// > 0 = one tuple becomes available every source_interval ns.
+  DurationNs source_interval = 0;
+
+  /// Blocking-counter sampling / policy-update period (the paper samples
+  /// every second of its time scale; the harness scales this down).
+  DurationNs sample_period = millis(10);
+};
+
+/// Result of run_until_emitted.
+struct RunResult {
+  bool reached_target = false;
+  std::uint64_t emitted = 0;
+  /// Virtual time at which the target tuple was emitted (or the deadline).
+  TimeNs finish_time = 0;
+};
+
+/// Binding of a region's workers onto dynamically shared hosts (for
+/// multi-region clusters). `host_of[j]` is worker j's host index in
+/// `hosts`, which must outlive the region.
+struct SharedPlacement {
+  SharedHostSet* hosts = nullptr;
+  std::vector<int> host_of;
+};
+
+class Region {
+ public:
+  /// Builds and wires the whole region. `load` and `hosts` may be default
+  /// (no external load; every worker on its own host).
+  ///
+  /// Multi-region use: pass a shared `external_sim` so several regions
+  /// advance on one virtual timeline, and a SharedPlacement so their
+  /// workers contend for the same hosts. Call start() on every region,
+  /// then drive the shared simulator directly.
+  Region(RegionConfig config, std::unique_ptr<SplitPolicy> policy,
+         LoadProfile load = {}, HostModel hosts = {},
+         Simulator* external_sim = nullptr, SharedPlacement shared = {});
+
+  /// Arms the splitter and the sampling loop. Idempotent; run_for and
+  /// run_until_emitted call it implicitly.
+  void start() { ensure_started(); }
+
+  /// Called once per sample period, after the policy has seen the new
+  /// counters — the hook the tracing/experiment code uses.
+  void set_sample_hook(std::function<void(Region&)> hook) {
+    sample_hook_ = std::move(hook);
+  }
+
+  /// Registers a one-shot callback fired (from within the merger's emit
+  /// path) when the emitted count first reaches `threshold`. Used for
+  /// "an eighth through the experiment" load changes, which the paper
+  /// defines in units of work, not time.
+  void at_emitted(std::uint64_t threshold, std::function<void()> fn);
+
+  /// The region's (mutable) external-load profile; experiments may append
+  /// steps at the current time to impose or lift load mid-run.
+  LoadProfile& load() { return load_; }
+
+  /// Runs for `duration` of virtual time (starts the pipeline on first
+  /// use).
+  void run_for(DurationNs duration);
+
+  /// Runs until `target` tuples have been emitted or `deadline` virtual
+  /// time passes.
+  RunResult run_until_emitted(std::uint64_t target, TimeNs deadline);
+
+  // --- accessors used by experiments and tests -------------------------
+  Simulator& simulator() { return *sim_; }
+  const Simulator& simulator() const { return *sim_; }
+  SplitPolicy& policy() { return *policy_; }
+  const SplitPolicy& policy() const { return *policy_; }
+  Splitter& splitter() { return *splitter_; }
+  Merger& merger() { return *merger_; }
+  Worker& worker(int j) { return *workers_[static_cast<std::size_t>(j)]; }
+  Channel& channel(int j) { return *channels_[static_cast<std::size_t>(j)]; }
+  BlockingCounterSet& counters() { return counters_; }
+  const RegionConfig& config() const { return config_; }
+  int workers() const { return config_.workers; }
+
+  std::uint64_t emitted() const { return merger_->emitted(); }
+
+  /// Tuples emitted during the most recent completed sample period —
+  /// the instantaneous region throughput numerator.
+  std::uint64_t emitted_last_period() const { return emitted_last_period_; }
+
+  /// Blocking rate per connection over the last completed sample period
+  /// (fraction of the period the splitter spent blocked on it).
+  double last_period_blocking_rate(int j) const {
+    return last_rates_[static_cast<std::size_t>(j)];
+  }
+
+  /// End-to-end tuple latency (source arrival -> in-order emission):
+  /// running mean/min/max over every emitted tuple.
+  const RunningStats& latency() const { return latency_; }
+
+  /// Exact latency quantile over a 1-in-8 systematic sample of emitted
+  /// tuples (cheap enough to keep for multi-million-tuple runs).
+  double latency_quantile(double q) { return latency_samples_.quantile(q); }
+
+  TimeNs now() const { return sim_->now(); }
+
+ private:
+  void ensure_started();
+  void sample_tick();
+
+  RegionConfig config_;
+  std::unique_ptr<SplitPolicy> policy_;
+  LoadProfile load_;
+  HostModel hosts_;
+
+  std::unique_ptr<Simulator> owned_sim_;  // null when externally driven
+  Simulator* sim_;
+  BlockingCounterSet counters_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<Merger> merger_;
+  std::unique_ptr<Splitter> splitter_;
+
+  std::function<void(Region&)> sample_hook_;
+  bool started_ = false;
+
+  std::vector<DurationNs> prev_cumulative_;
+  std::vector<double> last_rates_;
+  std::uint64_t prev_emitted_ = 0;
+  std::uint64_t emitted_last_period_ = 0;
+
+  RunningStats latency_;
+  SampleSet latency_samples_;
+
+  std::uint64_t stop_target_ = 0;
+  TimeNs target_reached_at_ = -1;
+
+  struct EmitTrigger {
+    std::uint64_t threshold;
+    std::function<void()> fn;
+    bool fired = false;
+  };
+  std::vector<EmitTrigger> emit_triggers_;
+};
+
+}  // namespace slb::sim

@@ -1,0 +1,85 @@
+// Dynamically shared hosts — the substrate for the paper's stated future
+// work (Section 8): multiple parallel regions whose worker PEs share
+// machines, so one region's activity *is* another region's exogenous
+// load.
+//
+// Unlike HostModel (a static placement factor), a SharedHostSet tracks
+// how many workers are busy on each host right now. A worker starting a
+// tuple pays an oversubscription factor based on the instantaneous busy
+// count: when a co-located region ramps up, everyone on that host slows
+// down — which the other regions' controllers observe purely through
+// their own blocking rates, with no shared state or coordination.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace slb::sim {
+
+struct SharedHostSpec {
+  double speed = 1.0;  // relative per-thread speed
+  int threads = 8;     // hardware threads
+};
+
+class SharedHostSet {
+ public:
+  explicit SharedHostSet(std::vector<SharedHostSpec> specs) {
+    hosts_.reserve(specs.size());
+    for (const SharedHostSpec& spec : specs) {
+      assert(spec.speed > 0.0);
+      assert(spec.threads > 0);
+      hosts_.push_back(Host{spec, 0});
+    }
+  }
+
+  int hosts() const { return static_cast<int>(hosts_.size()); }
+  int busy(int host) const { return at(host).busy; }
+
+  /// Marks one more worker busy on `host` and returns the service-time
+  /// factor that worker should pay (oversubscription / speed), evaluated
+  /// at the new occupancy.
+  double begin_service(int host) {
+    Host& h = at(host);
+    ++h.busy;
+    return factor_at(h, h.busy);
+  }
+
+  /// Marks one worker idle again.
+  void end_service(int host) {
+    Host& h = at(host);
+    assert(h.busy > 0);
+    --h.busy;
+  }
+
+  /// The factor a worker *would* pay if it started now (no state change).
+  double peek_factor(int host) const {
+    const Host& h = at(host);
+    return factor_at(h, h.busy + 1);
+  }
+
+ private:
+  struct Host {
+    SharedHostSpec spec;
+    int busy;
+  };
+
+  static double factor_at(const Host& h, int busy) {
+    const double oversub = std::max(
+        1.0, static_cast<double>(busy) / static_cast<double>(h.spec.threads));
+    return oversub / h.spec.speed;
+  }
+
+  Host& at(int host) {
+    assert(host >= 0 && host < hosts());
+    return hosts_[static_cast<std::size_t>(host)];
+  }
+  const Host& at(int host) const {
+    assert(host >= 0 && host < hosts());
+    return hosts_[static_cast<std::size_t>(host)];
+  }
+
+  std::vector<Host> hosts_;
+};
+
+}  // namespace slb::sim

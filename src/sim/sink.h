@@ -1,0 +1,74 @@
+// Tuple sinks: where a processing entity delivers its output.
+//
+// Workers deliver to a TupleSink — the in-order Merger inside a parallel
+// region, a ChannelSink chaining into the next pipeline stage, or a
+// CountingSink terminating the dataflow. The `offer` contract carries
+// back pressure: a sink may refuse a tuple (return false), in which case
+// the producer holds it and retries when poked via the registered
+// space callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/channel.h"
+#include "sim/tuple.h"
+
+namespace slb::sim {
+
+class TupleSink {
+ public:
+  virtual ~TupleSink() = default;
+
+  /// Offers a tuple from input port `from`. Returns false when the sink
+  /// cannot accept it right now; the producer must hold the tuple and
+  /// retry after the on-space callback fires.
+  virtual bool offer(int from, Tuple t) = 0;
+
+  /// Registers the producer's wake-up for port `from`.
+  virtual void set_on_space(int from, std::function<void()> fn) = 0;
+};
+
+/// Terminal sink: accepts everything, counts it, optionally notifies.
+class CountingSink : public TupleSink {
+ public:
+  bool offer(int /*from*/, Tuple t) override {
+    ++count_;
+    if (on_tuple_) on_tuple_(t);
+    return true;
+  }
+
+  void set_on_space(int /*from*/, std::function<void()> /*fn*/) override {}
+
+  void set_on_tuple(std::function<void(const Tuple&)> fn) {
+    on_tuple_ = std::move(fn);
+  }
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::function<void(const Tuple&)> on_tuple_;
+};
+
+/// Adapter: delivers tuples into a downstream Channel's send buffer,
+/// refusing while it is full (back pressure between pipeline stages).
+class ChannelSink : public TupleSink {
+ public:
+  explicit ChannelSink(Channel* downstream) : downstream_(downstream) {}
+
+  bool offer(int /*from*/, Tuple t) override {
+    if (downstream_->send_full()) return false;
+    downstream_->push_send(t);
+    return true;
+  }
+
+  void set_on_space(int /*from*/, std::function<void()> fn) override {
+    downstream_->set_on_send_space(std::move(fn));
+  }
+
+ private:
+  Channel* downstream_;
+};
+
+}  // namespace slb::sim

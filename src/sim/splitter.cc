@@ -1,0 +1,122 @@
+#include "sim/splitter.h"
+
+#include <cassert>
+
+namespace slb::sim {
+
+Splitter::Splitter(Simulator* sim, SplitPolicy* policy,
+                   DurationNs send_overhead, DurationNs source_interval)
+    : sim_(sim),
+      policy_(policy),
+      send_overhead_(send_overhead),
+      source_interval_(source_interval) {
+  assert(sim != nullptr);
+  assert(policy != nullptr);
+  assert(send_overhead > 0);  // zero would allow infinite same-instant sends
+  assert(source_interval >= 0);
+}
+
+void Splitter::wire(std::vector<Channel*> channels,
+                    BlockingCounterSet* counters) {
+  assert(channels_.empty());
+  assert(counters != nullptr);
+  assert(counters->size() == channels.size());
+  channels_ = std::move(channels);
+  counters_ = counters;
+  sent_.assign(channels_.size(), 0);
+  blocks_.assign(channels_.size(), 0);
+  for (std::size_t j = 0; j < channels_.size(); ++j) {
+    channels_[j]->set_on_send_space(
+        [this, j] { on_send_space(static_cast<int>(j)); });
+  }
+}
+
+void Splitter::start() {
+  // The source starts producing now, not at the epoch (matters when a
+  // region joins a shared timeline late).
+  next_release_ = sim_->now();
+  sim_->schedule_after(0, [this] { next_send(); });
+}
+
+void Splitter::set_input(Channel* input) {
+  assert(input != nullptr);
+  input_ = input;
+  input_->set_on_recv_ready([this] {
+    // New upstream data: resume if we were idle waiting for input (not
+    // blocked on a full output channel — that wake-up comes separately).
+    if (idle_for_input_) {
+      idle_for_input_ = false;
+      next_send();
+    }
+  });
+}
+
+void Splitter::next_send() {
+  assert(blocked_on_ < 0);
+  if (input_ != nullptr && input_->recv_empty()) {
+    idle_for_input_ = true;  // wait for the upstream stage
+    return;
+  }
+  const int j = policy_->pick_connection();
+  assert(j >= 0 && j < static_cast<int>(channels_.size()));
+
+  if (!channels_[static_cast<std::size_t>(j)]->send_full()) {
+    do_send(j);
+    return;
+  }
+
+  if (policy_->reroute_on_block()) {
+    // Section 4.4 baseline: divert to any connection with buffer space.
+    const int n = static_cast<int>(channels_.size());
+    for (int step = 1; step < n; ++step) {
+      const int k = (j + step) % n;
+      if (!channels_[static_cast<std::size_t>(k)]->send_full()) {
+        ++rerouted_;
+        do_send(k);
+        return;
+      }
+    }
+  }
+
+  // Elect to block (Section 4.4: "we detect when a TCP send will block,
+  // and then we block anyway, just making sure to record how long").
+  blocked_on_ = j;
+  block_start_ = sim_->now();
+  ++blocks_[static_cast<std::size_t>(j)];
+}
+
+void Splitter::do_send(int j) {
+  Tuple t;
+  if (input_ != nullptr) {
+    // Forwarded tuple: restamp the sequence, keep the original arrival
+    // time so end-to-end latency survives region boundaries.
+    t = input_->pop_recv();
+  } else {
+    // Source tuple: arrival = nominal release time for an open-loop
+    // source (arrears count as waiting), or "now" for a closed loop.
+    t.created = source_interval_ > 0 ? next_release_ : sim_->now();
+  }
+  t.seq = next_seq_++;
+  channels_[static_cast<std::size_t>(j)]->push_send(t);
+  ++sent_[static_cast<std::size_t>(j)];
+  ++total_sent_;
+  TimeNs next = sim_->now() + send_overhead_;
+  if (source_interval_ > 0) {
+    // Open loop: the next tuple is only available at its release time.
+    // Arrears accumulated while we were blocked drain at full speed.
+    next_release_ += source_interval_;
+    next = std::max(next, next_release_);
+  }
+  sim_->schedule_at(next, [this] { next_send(); });
+}
+
+void Splitter::on_send_space(int j) {
+  if (blocked_on_ != j) return;
+  if (channels_[static_cast<std::size_t>(j)]->send_full()) return;
+  counters_->at(static_cast<std::size_t>(j))
+      .add(sim_->now() - block_start_);
+  blocked_on_ = -1;
+  do_send(j);
+}
+
+}  // namespace slb::sim

@@ -1,0 +1,101 @@
+// The simulated splitter: a single thread of control distributing tuples
+// over per-worker connections (paper Sections 2–4).
+//
+// The single-threadedness is load-bearing: because one control flow sends
+// to all connections, blocking on one connection gives every other
+// connection slack — the origin of the *drafting* phenomenon (Section
+// 4.2). The splitter here is a state machine driven by simulator events:
+//
+//   * every `send_overhead` ns it asks its SplitPolicy for a target and
+//     pushes one tuple (closed-loop source: tuples are always available,
+//     matching the paper's throughput-bound experiments);
+//   * when the chosen connection's send buffer is full it BLOCKS — and
+//     records exactly how long, in that connection's BlockingCounter
+//     (the paper's MSG_DONTWAIT + timed select, Section 3);
+//   * if the policy enables transport-level re-routing (Section 4.4's
+//     failed baseline) it instead scans for any connection with space and
+//     only blocks when all are full.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/blocking_counter.h"
+#include "core/policies.h"
+#include "sim/channel.h"
+#include "sim/event.h"
+#include "util/time.h"
+
+namespace slb::sim {
+
+class Splitter {
+ public:
+  /// @param source_interval mean inter-arrival gap of the upstream tuple
+  ///   source: 0 = closed loop (a tuple is always ready — the paper's
+  ///   throughput-bound experiments); > 0 = open loop at rate
+  ///   1/source_interval, with arrears bursting out after blocking, like
+  ///   a real upstream stage's queue.
+  Splitter(Simulator* sim, SplitPolicy* policy, DurationNs send_overhead,
+           DurationNs source_interval = 0);
+
+  /// Connects the splitter to its channels and the region's blocking
+  /// counters. Must be called once before start().
+  void wire(std::vector<Channel*> channels, BlockingCounterSet* counters);
+
+  /// Mid-pipeline mode: instead of generating tuples (closed loop /
+  /// paced source), the splitter forwards tuples arriving on `input`,
+  /// restamping their sequence numbers in arrival order (which preserves
+  /// end-to-end order through the region's merger). Call before start().
+  void set_input(Channel* input);
+
+  /// Schedules the first send at the current time.
+  void start();
+
+  std::uint64_t total_sent() const { return total_sent_; }
+  std::uint64_t sent(int j) const {
+    return sent_[static_cast<std::size_t>(j)];
+  }
+  /// Tuples diverted by the Section 4.4 re-routing baseline.
+  std::uint64_t rerouted() const { return rerouted_; }
+  /// Number of distinct blocking episodes per connection.
+  std::uint64_t blocks(int j) const {
+    return blocks_[static_cast<std::size_t>(j)];
+  }
+  bool blocked() const { return blocked_on_ >= 0; }
+  int blocked_on() const { return blocked_on_; }
+
+  /// Open-loop sources only: how many released-but-unsent tuples are
+  /// queued at the source right now (0 for closed-loop sources). A
+  /// growing backlog means the region cannot sustain the offered rate.
+  std::uint64_t source_backlog(TimeNs now) const {
+    if (source_interval_ <= 0 || now <= next_release_) return 0;
+    return static_cast<std::uint64_t>((now - next_release_) /
+                                      source_interval_);
+  }
+
+ private:
+  void next_send();
+  void do_send(int j);
+  void on_send_space(int j);
+
+  Simulator* sim_;
+  SplitPolicy* policy_;
+  DurationNs send_overhead_;
+  DurationNs source_interval_;
+  TimeNs next_release_ = 0;
+  Channel* input_ = nullptr;
+  std::vector<Channel*> channels_;
+  BlockingCounterSet* counters_ = nullptr;
+
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t total_sent_ = 0;
+  std::uint64_t rerouted_ = 0;
+  std::vector<std::uint64_t> sent_;
+  std::vector<std::uint64_t> blocks_;
+
+  int blocked_on_ = -1;
+  TimeNs block_start_ = 0;
+  bool idle_for_input_ = false;
+};
+
+}  // namespace slb::sim

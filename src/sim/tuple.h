@@ -1,0 +1,20 @@
+// The unit of streaming data. The splitter stamps the sequence number at
+// send time and the merger restores global sequence order before
+// emitting (sequential semantics). `created` is the tuple's arrival time
+// at the region's source — for an open-loop source, its nominal release
+// time, so source-side queueing counts toward latency — and rides along
+// so the merger can report end-to-end latency.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace slb::sim {
+
+struct Tuple {
+  std::uint64_t seq = 0;
+  TimeNs created = 0;
+};
+
+}  // namespace slb::sim

@@ -1,0 +1,73 @@
+// A simulated worker PE: pulls tuples from its connection's receive
+// buffer, "processes" them for a service time, and offers results to the
+// merger. Stateless, as the paper requires of data-parallel regions.
+//
+// Service time = base_cost x external-load multiplier (LoadProfile)
+//              x host factor (HostModel: speed + oversubscription).
+// If the merger's reorder queue is full the worker stalls holding its
+// result — the back-pressure link that ultimately surfaces as splitter
+// blocking.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/channel.h"
+#include "sim/event.h"
+#include "sim/host.h"
+#include "sim/load_profile.h"
+#include "sim/merger.h"
+#include "sim/shared_host.h"
+#include "sim/sink.h"
+#include "sim/tuple.h"
+#include "util/time.h"
+
+namespace slb::sim {
+
+class Worker {
+ public:
+  Worker(Simulator* sim, int id, DurationNs base_cost,
+         const LoadProfile* load, const HostModel* hosts);
+
+  /// Connects the worker to its input channel and its output sink (the
+  /// region's merger, or any TupleSink when composing pipelines). `port`
+  /// is the sink input this worker feeds; defaults to the worker id.
+  /// Must be called exactly once before the simulation starts.
+  void wire(Channel* channel, TupleSink* sink, int port = -1);
+
+  /// Binds the worker to a dynamically shared host (multi-region
+  /// clusters): each tuple's service factor then comes from the host's
+  /// instantaneous occupancy instead of the static HostModel.
+  void bind_shared_host(SharedHostSet* hosts, int host);
+
+  /// Re-evaluates what the worker can do: push a held result, start the
+  /// next tuple. Safe to call at any point inside an event.
+  void poll();
+
+  int id() const { return id_; }
+  bool busy() const { return busy_; }
+  bool stalled() const { return holding_; }
+  std::uint64_t processed() const { return processed_; }
+
+  /// The effective per-tuple service time if a tuple started now.
+  DurationNs current_service_time() const;
+
+ private:
+  void finish(Tuple t);
+
+  Simulator* sim_;
+  int id_;
+  DurationNs base_cost_;
+  const LoadProfile* load_;
+  const HostModel* hosts_;
+  Channel* channel_ = nullptr;
+  TupleSink* sink_ = nullptr;
+  int port_ = 0;
+  SharedHostSet* shared_hosts_ = nullptr;
+  int shared_host_ = -1;
+  bool busy_ = false;
+  bool holding_ = false;
+  Tuple held_{};
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace slb::sim

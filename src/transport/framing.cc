@@ -1,0 +1,78 @@
+#include "transport/framing.h"
+
+namespace slb::net {
+
+namespace {
+
+void put_u32(std::uint32_t v, std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::uint64_t v, std::vector<std::uint8_t>& out) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+}  // namespace
+
+void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out) {
+  put_u32(static_cast<std::uint32_t>(frame.payload.size()), out);
+  put_u64(frame.seq, out);
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+}
+
+std::vector<std::uint8_t> fin_bytes() {
+  Frame fin;
+  fin.seq = kFinSeq;
+  std::vector<std::uint8_t> out;
+  encode_frame(fin, out);
+  return out;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t len) {
+  buffer_.insert(buffer_.end(), data, data + len);
+}
+
+bool FrameDecoder::next(Frame& frame) {
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return false;
+  const std::uint8_t* base = buffer_.data() + consumed_;
+  const std::uint32_t payload_len = get_u32(base);
+  if (available < kFrameHeaderBytes + payload_len) return false;
+  frame.seq = get_u64(base + 4);
+  frame.payload.assign(base + kFrameHeaderBytes,
+                       base + kFrameHeaderBytes + payload_len);
+  consumed_ += kFrameHeaderBytes + payload_len;
+  compact();
+  return true;
+}
+
+void FrameDecoder::compact() {
+  // Reclaim space once the consumed prefix dominates the buffer.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+}
+
+}  // namespace slb::net

@@ -1,0 +1,49 @@
+// Tuple wire format for the threaded runtime.
+//
+// A frame is [u32 payload_len][u64 seq][payload_len bytes]. All integers
+// little-endian (we only run loopback, but the format is explicit anyway).
+// A frame with seq == kFinSeq and empty payload signals end-of-stream.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace slb::net {
+
+inline constexpr std::uint64_t kFinSeq = ~std::uint64_t{0};
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 8;
+
+struct Frame {
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> payload;
+
+  bool is_fin() const { return seq == kFinSeq && payload.empty(); }
+};
+
+/// Serializes a frame into `out` (appended).
+void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out);
+
+/// Builds the FIN frame bytes.
+std::vector<std::uint8_t> fin_bytes();
+
+/// Incremental decoder: feed arbitrary byte chunks, take complete frames.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes from the wire.
+  void feed(const std::uint8_t* data, std::size_t len);
+
+  /// Pops the next complete frame into `frame`; returns false when more
+  /// bytes are needed.
+  bool next(Frame& frame);
+
+  std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  void compact();
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace slb::net

@@ -1,0 +1,63 @@
+#include "transport/instrumented_sender.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace slb::net {
+
+InstrumentedSender::InstrumentedSender(int fd, BlockingCounter* counter)
+    : fd_(fd), counter_(counter) {
+  assert(fd >= 0);
+  assert(counter != nullptr);
+}
+
+void InstrumentedSender::send_all(const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  bool blocked_this_call = false;
+  while (sent < len) {
+    const ssize_t n =
+        ::send(fd_, data + sent, len - sent, MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // The send would block: block deliberately and charge the wait.
+      if (!blocked_this_call) {
+        blocked_this_call = true;
+        ++block_events_;
+      }
+      counter_->add(wait_writable());
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+  }
+}
+
+std::size_t InstrumentedSender::try_send(const std::uint8_t* data,
+                                         std::size_t len) {
+  const ssize_t n = ::send(fd_, data, len, MSG_DONTWAIT | MSG_NOSIGNAL);
+  if (n >= 0) return static_cast<std::size_t>(n);
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;
+  throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+}
+
+DurationNs InstrumentedSender::wait_writable() {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLOUT;
+  const TimeNs start = monotonic_now();
+  const int rc = ::poll(&pfd, 1, /*timeout_ms=*/50);
+  if (rc < 0 && errno != EINTR) {
+    throw std::runtime_error(std::string("poll: ") + std::strerror(errno));
+  }
+  return monotonic_now() - start;
+}
+
+}  // namespace slb::net

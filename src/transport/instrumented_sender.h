@@ -1,0 +1,48 @@
+// The paper's measurement mechanism (Section 3), on real sockets.
+//
+// Every send is attempted with MSG_DONTWAIT. If the kernel would block
+// (EAGAIN — the socket send buffer is full), we *elect to block anyway*:
+// we wait in poll(POLLOUT) and charge the measured wait to this
+// connection's BlockingCounter. The paper uses select() and reads the
+// remaining time from the Linux timeout object; we take monotonic clock
+// readings around poll(), which measures the same quantity without the
+// Linux-specific semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/blocking_counter.h"
+#include "util/time.h"
+
+namespace slb::net {
+
+class InstrumentedSender {
+ public:
+  /// @param fd connected socket; ownership stays with the caller.
+  /// @param counter blocking counter for this connection.
+  InstrumentedSender(int fd, BlockingCounter* counter);
+
+  /// Sends the full buffer, blocking as needed; blocked time is recorded.
+  void send_all(const std::uint8_t* data, std::size_t len);
+
+  /// Attempts to send without blocking at all. Returns the number of
+  /// bytes accepted by the kernel (possibly 0). Used by the Section 4.4
+  /// re-routing baseline, which diverts instead of blocking.
+  std::size_t try_send(const std::uint8_t* data, std::size_t len);
+
+  /// Number of times send_all had to wait at least once.
+  std::uint64_t block_events() const { return block_events_; }
+
+  int fd() const { return fd_; }
+
+ private:
+  /// Waits until the socket is writable; returns the time spent waiting.
+  DurationNs wait_writable();
+
+  int fd_;
+  BlockingCounter* counter_;
+  std::uint64_t block_events_ = 0;
+};
+
+}  // namespace slb::net

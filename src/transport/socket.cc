@@ -1,0 +1,123 @@
+#include "transport/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace slb::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener() {
+  fd_ = Fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd_.valid()) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd_.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw_errno("bind");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd_.get(), 16) != 0) throw_errno("listen");
+}
+
+Fd Listener::accept_one() {
+  const int fd = ::accept(fd_.get(), nullptr, nullptr);
+  if (fd < 0) throw_errno("accept");
+  return Fd(fd);
+}
+
+Fd connect_loopback(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw_errno("connect");
+  }
+  return fd;
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    throw_errno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+void set_send_buffer(int fd, int bytes) {
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) != 0) {
+    throw_errno("setsockopt(SO_SNDBUF)");
+  }
+}
+
+void set_recv_buffer(int fd, int bytes) {
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes)) != 0) {
+    throw_errno("setsockopt(SO_RCVBUF)");
+  }
+}
+
+bool read_exact(int fd, void* buf, std::size_t len) {
+  auto* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, p + got, len - got);
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF at a frame boundary
+      throw std::runtime_error("read_exact: EOF mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void write_all(int fd, const void* buf, std::size_t len) {
+  const auto* p = static_cast<const char*>(buf);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::write(fd, p + sent, len - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace slb::net

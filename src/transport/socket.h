@@ -1,0 +1,77 @@
+// RAII TCP sockets over loopback — the data transport layer of the
+// threaded runtime.
+//
+// The paper's splitter talks to its worker PEs over per-connection TCP;
+// we reproduce the same kernel path (socket buffers, flow control,
+// blocking sends) with 127.0.0.1 connections inside one process. Send
+// buffers are deliberately sized small so back pressure reaches the
+// splitter quickly at benchmark scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace slb::net {
+
+/// Owning file descriptor with move-only semantics.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A TCP listener bound to 127.0.0.1 on an ephemeral port.
+class Listener {
+ public:
+  /// Creates, binds, and listens; throws std::runtime_error on failure.
+  Listener();
+
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until one connection arrives; returns the connected socket.
+  Fd accept_one();
+
+ private:
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:port (blocking); throws on failure.
+Fd connect_loopback(std::uint16_t port);
+
+/// Socket-option helpers (throw on failure).
+void set_nodelay(int fd);
+void set_send_buffer(int fd, int bytes);
+void set_recv_buffer(int fd, int bytes);
+
+/// Reads exactly `len` bytes (blocking); returns false on EOF before any
+/// byte, throws on error mid-stream.
+bool read_exact(int fd, void* buf, std::size_t len);
+
+/// Writes exactly `len` bytes with plain blocking sends (used by workers,
+/// where blocking time is not measured).
+void write_all(int fd, const void* buf, std::size_t len);
+
+}  // namespace slb::net

@@ -1,0 +1,67 @@
+// CSV trace writer. The in-depth experiment harnesses emit per-second
+// traces (allocation weight, blocking rate per connection) in CSV so the
+// paper's time-series figures can be regenerated with any plotting tool.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace slb {
+
+/// Streams rows to a CSV file. Values are written with full precision;
+/// strings containing separators/quotes are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+
+  /// Opens (truncates) `path`. Check `ok()` afterwards.
+  explicit CsvWriter(const std::string& path) : out_(path) {}
+
+  bool ok() const { return out_.is_open() && out_.good(); }
+
+  void header(const std::vector<std::string>& names) { write_row(names); }
+
+  void row(const std::vector<std::string>& cells) { write_row(cells); }
+
+  /// Convenience: numeric row.
+  void row(const std::vector<double>& cells) {
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (double c : cells) text.push_back(format(c));
+    write_row(text);
+  }
+
+  static std::string format(double v) {
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    return os.str();
+  }
+
+  static std::string escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  }
+
+ private:
+  void write_row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+  }
+
+  std::ofstream out_;
+};
+
+}  // namespace slb

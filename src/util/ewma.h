@@ -1,0 +1,49 @@
+// Exponentially weighted moving average used to smooth blocking-rate
+// samples before they are folded into a connection's rate function.
+#pragma once
+
+#include <cassert>
+
+namespace slb {
+
+/// A standard EWMA: after `add(x)`, `value()` is
+/// `alpha * x + (1 - alpha) * previous`. The first sample initializes the
+/// average directly so there is no warm-up bias toward zero.
+class Ewma {
+ public:
+  /// @param alpha Smoothing factor in (0, 1]; larger reacts faster.
+  explicit Ewma(double alpha) : alpha_(alpha) {
+    assert(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  /// Folds one sample into the average.
+  void add(double sample) {
+    if (!initialized_) {
+      value_ = sample;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+    }
+  }
+
+  /// True once at least one sample has been added.
+  bool initialized() const { return initialized_; }
+
+  /// Current smoothed value; 0 before any sample.
+  double value() const { return value_; }
+
+  /// Forgets all history.
+  void reset() {
+    value_ = 0.0;
+    initialized_ = false;
+  }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace slb

@@ -1,0 +1,14 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace slb {
+
+double Rng::exponential(double mean) {
+  // Inverse-CDF sampling; clamp the uniform away from 0 so log() is finite.
+  double u = uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+}  // namespace slb

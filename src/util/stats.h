@@ -1,0 +1,96 @@
+// Small statistics helpers used by the experiment harnesses: running
+// moments, min/max, and exact percentiles over retained samples.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace slb {
+
+/// Running mean / variance / extrema without retaining samples
+/// (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+
+  /// Population variance; 0 with fewer than two samples.
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Retains every sample; supports exact quantiles. Intended for
+/// experiment post-processing, not hot paths.
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  /// Exact quantile by linear interpolation between order statistics.
+  /// @param q in [0, 1].
+  double quantile(double q) {
+    assert(q >= 0.0 && q <= 1.0);
+    if (samples_.empty()) return 0.0;
+    sort();
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  double median() { return quantile(0.5); }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void sort() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+}  // namespace slb

@@ -1,0 +1,54 @@
+// Time types shared by the simulator, the core load-balancing library and
+// the threaded runtime.
+//
+// All durations and points in time are carried as signed 64-bit nanosecond
+// counts. The simulator interprets them as *virtual* nanoseconds; the
+// threaded runtime interprets them as wall-clock nanoseconds taken from
+// CLOCK_MONOTONIC. Using one integral representation everywhere keeps the
+// controller substrate-agnostic and avoids floating-point drift in
+// accumulated counters.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace slb {
+
+/// A span of (virtual or real) time in nanoseconds.
+using DurationNs = std::int64_t;
+
+/// An absolute instant in nanoseconds since an arbitrary epoch.
+using TimeNs = std::int64_t;
+
+inline constexpr DurationNs kNanosPerMicro = 1'000;
+inline constexpr DurationNs kNanosPerMilli = 1'000'000;
+inline constexpr DurationNs kNanosPerSec = 1'000'000'000;
+
+/// Converts whole seconds to nanoseconds.
+constexpr DurationNs seconds(std::int64_t s) { return s * kNanosPerSec; }
+
+/// Converts whole milliseconds to nanoseconds.
+constexpr DurationNs millis(std::int64_t ms) { return ms * kNanosPerMilli; }
+
+/// Converts whole microseconds to nanoseconds.
+constexpr DurationNs micros(std::int64_t us) { return us * kNanosPerMicro; }
+
+/// Converts a (possibly fractional) second count to nanoseconds.
+constexpr DurationNs seconds_f(double s) {
+  return static_cast<DurationNs>(s * static_cast<double>(kNanosPerSec));
+}
+
+/// Converts nanoseconds to fractional seconds (for reporting only).
+constexpr double to_seconds(DurationNs ns) {
+  return static_cast<double>(ns) / static_cast<double>(kNanosPerSec);
+}
+
+/// Reads the machine's monotonic clock as nanoseconds. Used only by the
+/// threaded runtime; the simulator never calls this.
+inline TimeNs monotonic_now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace slb

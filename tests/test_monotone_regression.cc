@@ -1,0 +1,158 @@
+// Tests for the pool-adjacent-violators isotonic regression, including
+// property-based checks against the optimality conditions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/monotone_regression.h"
+#include "util/rng.h"
+
+namespace slb {
+namespace {
+
+TEST(Isotonic, EmptyInput) {
+  EXPECT_TRUE(isotonic_fit({}).empty());
+}
+
+TEST(Isotonic, SingleValueUnchanged) {
+  const std::vector<double> y{3.5};
+  EXPECT_EQ(isotonic_fit(y), y);
+}
+
+TEST(Isotonic, AlreadyMonotoneUnchanged) {
+  const std::vector<double> y{1, 2, 2, 3, 10};
+  EXPECT_EQ(isotonic_fit(y), y);
+}
+
+TEST(Isotonic, SimpleViolationPools) {
+  const std::vector<double> y{2, 1};
+  const std::vector<double> fit = isotonic_fit(y);
+  EXPECT_DOUBLE_EQ(fit[0], 1.5);
+  EXPECT_DOUBLE_EQ(fit[1], 1.5);
+}
+
+TEST(Isotonic, DecreasingInputPoolsToMean) {
+  const std::vector<double> y{5, 4, 3, 2, 1};
+  const std::vector<double> fit = isotonic_fit(y);
+  for (double v : fit) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(Isotonic, WeightsShiftPooledMean) {
+  // Heavy first point dominates the pooled block.
+  const std::vector<double> y{4, 0};
+  const std::vector<double> w{3, 1};
+  const std::vector<double> fit = isotonic_fit(y, w);
+  EXPECT_DOUBLE_EQ(fit[0], 3.0);
+  EXPECT_DOUBLE_EQ(fit[1], 3.0);
+}
+
+TEST(Isotonic, KnownTextbookCase) {
+  const std::vector<double> y{1, 3, 2, 4};
+  const std::vector<double> fit = isotonic_fit(y);
+  EXPECT_DOUBLE_EQ(fit[0], 1.0);
+  EXPECT_DOUBLE_EQ(fit[1], 2.5);
+  EXPECT_DOUBLE_EQ(fit[2], 2.5);
+  EXPECT_DOUBLE_EQ(fit[3], 4.0);
+}
+
+TEST(Isotonic, IsNonDecreasingHelper) {
+  EXPECT_TRUE(is_non_decreasing({}));
+  EXPECT_TRUE(is_non_decreasing(std::vector<double>{1.0}));
+  EXPECT_TRUE(is_non_decreasing(std::vector<double>{1, 1, 2}));
+  EXPECT_FALSE(is_non_decreasing(std::vector<double>{1, 0.5}));
+}
+
+// ---- property-based checks ---------------------------------------------
+
+class IsotonicProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IsotonicProperty, OutputIsMonotone) {
+  Rng rng(GetParam());
+  const std::size_t n = 1 + rng.below(64);
+  std::vector<double> y(n);
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = rng.uniform(-10, 10);
+    w[i] = rng.uniform(0.1, 5.0);
+  }
+  const std::vector<double> fit = isotonic_fit(y, w);
+  ASSERT_EQ(fit.size(), n);
+  EXPECT_TRUE(is_non_decreasing(fit));
+}
+
+TEST_P(IsotonicProperty, PreservesWeightedMean) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  const std::size_t n = 2 + rng.below(32);
+  std::vector<double> y(n);
+  std::vector<double> w(n);
+  double mean_num = 0.0;
+  double mean_den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = rng.uniform(0, 100);
+    w[i] = rng.uniform(0.5, 2.0);
+    mean_num += y[i] * w[i];
+    mean_den += w[i];
+  }
+  const std::vector<double> fit = isotonic_fit(y, w);
+  double fit_num = 0.0;
+  for (std::size_t i = 0; i < n; ++i) fit_num += fit[i] * w[i];
+  EXPECT_NEAR(fit_num / mean_den, mean_num / mean_den, 1e-9);
+}
+
+TEST_P(IsotonicProperty, Idempotent) {
+  Rng rng(GetParam() ^ 0x1234);
+  const std::size_t n = 1 + rng.below(40);
+  std::vector<double> y(n);
+  for (auto& v : y) v = rng.uniform(-5, 5);
+  const std::vector<double> once = isotonic_fit(y);
+  const std::vector<double> twice = isotonic_fit(once);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(twice[i], once[i], 1e-12);
+}
+
+TEST_P(IsotonicProperty, NoWorseThanAnyMonotoneCandidate) {
+  // The PAVA fit must have weighted SSE no larger than a few heuristic
+  // monotone candidates: the sorted input, a constant at the weighted
+  // mean, and the running maximum.
+  Rng rng(GetParam() ^ 0x9999);
+  const std::size_t n = 2 + rng.below(24);
+  std::vector<double> y(n);
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = rng.uniform(0, 10);
+    w[i] = rng.uniform(0.5, 3.0);
+  }
+  auto sse = [&](const std::vector<double>& g) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += w[i] * (y[i] - g[i]) * (y[i] - g[i]);
+    }
+    return total;
+  };
+  const std::vector<double> fit = isotonic_fit(y, w);
+  const double fit_sse = sse(fit);
+
+  std::vector<double> sorted = y;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_LE(fit_sse, sse(sorted) + 1e-9);
+
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += w[i] * y[i];
+    den += w[i];
+  }
+  const std::vector<double> constant(n, num / den);
+  EXPECT_LE(fit_sse, sse(constant) + 1e-9);
+
+  std::vector<double> running = y;
+  for (std::size_t i = 1; i < n; ++i) {
+    running[i] = std::max(running[i], running[i - 1]);
+  }
+  EXPECT_LE(fit_sse, sse(running) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, IsotonicProperty,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace slb

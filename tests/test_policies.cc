@@ -1,0 +1,133 @@
+// Tests for the splitter routing policies and weight rounding.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/policies.h"
+
+namespace slb {
+namespace {
+
+TEST(RoundRobin, CyclesThroughConnections) {
+  RoundRobinPolicy rr(3);
+  EXPECT_EQ(rr.pick_connection(), 0);
+  EXPECT_EQ(rr.pick_connection(), 1);
+  EXPECT_EQ(rr.pick_connection(), 2);
+  EXPECT_EQ(rr.pick_connection(), 0);
+}
+
+TEST(RoundRobin, WeightsAreEven) {
+  RoundRobinPolicy rr(3);
+  EXPECT_EQ(rr.weights(), even_weights(3));
+  EXPECT_FALSE(rr.reroute_on_block());
+  EXPECT_EQ(rr.name(), "RR");
+}
+
+TEST(RoundRobin, IgnoresSamples) {
+  RoundRobinPolicy rr(2);
+  const std::vector<DurationNs> counters{seconds(1), 0};
+  rr.on_sample(seconds(1), counters);
+  rr.on_sample(seconds(2), counters);
+  EXPECT_EQ(rr.weights(), even_weights(2));
+}
+
+TEST(Reroute, FlagsTransportRerouting) {
+  RerouteOnBlockPolicy p(2);
+  EXPECT_TRUE(p.reroute_on_block());
+  EXPECT_EQ(p.name(), "RR-reroute");
+}
+
+TEST(LbPolicy, NameReflectsDecay) {
+  ControllerConfig adaptive;
+  adaptive.decay_factor = 0.9;
+  EXPECT_EQ(LoadBalancingPolicy(2, adaptive).name(), "LB-adaptive");
+  ControllerConfig statc;
+  statc.decay_factor = 1.0;
+  EXPECT_EQ(LoadBalancingPolicy(2, statc).name(), "LB-static");
+}
+
+TEST(LbPolicy, RoutesByControllerWeights) {
+  LoadBalancingPolicy p(2);
+  std::vector<DurationNs> counters{0, 0};
+  p.on_sample(seconds(1), counters);  // baseline
+  // Connection 0 blocked the whole period at its even weight.
+  counters[0] = seconds(1);
+  p.on_sample(seconds(2), counters);
+  EXPECT_LT(p.weights()[0], 500);
+  // Routing follows: over 1000 picks connection 0 gets its weight's share.
+  int zero_picks = 0;
+  for (int i = 0; i < kWeightUnits; ++i) {
+    if (p.pick_connection() == 0) ++zero_picks;
+  }
+  EXPECT_EQ(zero_picks, p.weights()[0]);
+}
+
+TEST(Oracle, AppliesInitialPhaseImmediately) {
+  OraclePolicy oracle(2, {{0, {3.0, 1.0}}});
+  EXPECT_EQ(oracle.weights(), (WeightVector{750, 250}));
+}
+
+TEST(Oracle, SwitchesPhasesOnSchedule) {
+  OraclePolicy oracle(2, {{0, {1.0, 1.0}}, {seconds(10), {1.0, 3.0}}});
+  const std::vector<DurationNs> unused{0, 0};
+  oracle.on_sample(seconds(5), unused);
+  EXPECT_EQ(oracle.weights(), (WeightVector{500, 500}));
+  oracle.on_sample(seconds(10), unused);
+  EXPECT_EQ(oracle.weights(), (WeightVector{250, 750}));
+}
+
+TEST(Oracle, SkipsToLatestDuePhase) {
+  OraclePolicy oracle(2, {{0, {1.0, 1.0}},
+                          {seconds(10), {9.0, 1.0}},
+                          {seconds(20), {1.0, 9.0}}});
+  const std::vector<DurationNs> unused{0, 0};
+  oracle.on_sample(seconds(30), unused);  // jumped past two phases
+  EXPECT_EQ(oracle.weights(), (WeightVector{100, 900}));
+}
+
+TEST(Oracle, UnsortedScheduleIsSorted) {
+  OraclePolicy oracle(2, {{seconds(10), {1.0, 3.0}}, {0, {1.0, 1.0}}});
+  EXPECT_EQ(oracle.weights(), (WeightVector{500, 500}));
+}
+
+// ---- weights_from_shares -------------------------------------------------
+
+TEST(WeightsFromShares, ExactProportions) {
+  EXPECT_EQ(weights_from_shares({1.0, 1.0}), (WeightVector{500, 500}));
+  EXPECT_EQ(weights_from_shares({3.0, 1.0}), (WeightVector{750, 250}));
+}
+
+TEST(WeightsFromShares, SumsToTotalDespiteRounding) {
+  const WeightVector w = weights_from_shares({1.0, 1.0, 1.0});
+  EXPECT_EQ(total_weight(w), kWeightUnits);
+  for (Weight x : w) EXPECT_NEAR(x, 333, 1);
+}
+
+TEST(WeightsFromShares, ZeroShareGetsZeroWeight) {
+  const WeightVector w = weights_from_shares({0.0, 2.0});
+  EXPECT_EQ(w, (WeightVector{0, 1000}));
+}
+
+TEST(WeightsFromShares, UnnormalizedSharesAccepted) {
+  EXPECT_EQ(weights_from_shares({10.0, 30.0}),
+            weights_from_shares({1.0, 3.0}));
+}
+
+TEST(WeightsFromShares, ManyConnectionsStillExact) {
+  std::vector<double> shares(64, 1.0);
+  const WeightVector w = weights_from_shares(shares);
+  EXPECT_EQ(total_weight(w), kWeightUnits);
+  for (Weight x : w) EXPECT_NEAR(x, 15.6, 1.0);
+}
+
+TEST(WeightsFromShares, LargestRemainderWins) {
+  // Shares 1:1:2 -> exact 250, 250, 500: no remainder case.
+  // Shares 1:1:1:3 -> 166.7, 166.7, 166.7, 500 -> remainders promote the
+  // first two .7s (ties by index).
+  const WeightVector w = weights_from_shares({1, 1, 1, 3});
+  EXPECT_EQ(total_weight(w), kWeightUnits);
+  EXPECT_EQ(w[3], 500);
+}
+
+}  // namespace
+}  // namespace slb

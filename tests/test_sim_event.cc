@@ -1,0 +1,124 @@
+// Tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event.h"
+
+namespace slb::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, SameTimeEventsRunInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until_idle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  TimeNs seen = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { seen = sim.now(); });
+  });
+  sim.run_until_idle();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Simulator, ZeroDelayEventsRunAtSameTime) {
+  Simulator sim;
+  int depth = 0;
+  sim.schedule_at(7, [&] {
+    sim.schedule_after(0, [&] {
+      ++depth;
+      EXPECT_EQ(sim.now(), 7);
+    });
+  });
+  sim.run_until_idle();
+  EXPECT_EQ(depth, 1);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 15);  // clock advances to the deadline
+  sim.run_until(25);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventAtExactDeadlineRuns) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(10, [&] { fired = true; });
+  sim.run_until(10);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(1, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, StopInterruptsRunWhile) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2, [&] { ++fired; });
+  sim.run_while(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.stop_requested());
+  sim.run_while(100);  // resumes past the stop
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CountsEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  sim.run_until_idle();
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(Simulator, EventsCanScheduleManyMore) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 1000) sim.schedule_after(1, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run_until_idle();
+  EXPECT_EQ(count, 1000);
+  EXPECT_EQ(sim.now(), 999);
+}
+
+}  // namespace
+}  // namespace slb::sim

@@ -1,0 +1,198 @@
+// Tests for the experiment harness: unit scaling, load/oracle
+// construction, fixed-work runs, and the paper's qualitative orderings.
+#include <gtest/gtest.h>
+
+#include "sim/harness.h"
+
+namespace slb::sim {
+namespace {
+
+TEST(Scale, TupleCostFromMultiplies) {
+  Scale s;
+  s.multiply_ns = 10.0;
+  EXPECT_EQ(s.tuple_cost(1000), 10'000);
+  EXPECT_EQ(s.tuple_cost(60'000), 600'000);
+}
+
+TEST(Scale, PaperSecondsRoundTrip) {
+  Scale s;
+  const TimeNs t = s.from_paper_seconds(12.5);
+  EXPECT_NEAR(s.to_paper_seconds(t), 12.5, 1e-9);
+}
+
+TEST(Scale, BufferSizingClampsToRange) {
+  ExperimentSpec spec;
+  spec.workers = 2;
+  spec.base_multiplies = 100;  // 1 us tuples: target would exceed max
+  RegionConfig cfg = build_region_config(spec);
+  EXPECT_EQ(cfg.send_buffer, spec.scale.max_buffer);
+  spec.base_multiplies = 1'000'000;  // 10 ms tuples: target below min
+  cfg = build_region_config(spec);
+  EXPECT_EQ(cfg.send_buffer, spec.scale.min_buffer);
+}
+
+TEST(Harness, PolicyNames) {
+  EXPECT_EQ(policy_name(PolicyKind::kRoundRobin), "RR");
+  EXPECT_EQ(policy_name(PolicyKind::kReroute), "RR-reroute");
+  EXPECT_EQ(policy_name(PolicyKind::kLbStatic), "LB-static");
+  EXPECT_EQ(policy_name(PolicyKind::kLbAdaptive), "LB-adaptive");
+  EXPECT_EQ(policy_name(PolicyKind::kOracle), "Oracle*");
+}
+
+TEST(Harness, LoadProfileFromClasses) {
+  ExperimentSpec spec;
+  spec.workers = 4;
+  spec.loads.push_back({{0, 1}, 10.0, 25.0});
+  const LoadProfile p = build_load_profile(spec);
+  EXPECT_DOUBLE_EQ(p.at(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(p.at(0, spec.scale.from_paper_seconds(26)), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(2, 0), 1.0);
+}
+
+TEST(Harness, TrueCapacityReflectsLoadAndHosts) {
+  ExperimentSpec spec;
+  spec.workers = 2;
+  spec.base_multiplies = 1000;  // 10 us tuples -> 100K/s
+  spec.loads.push_back({{0}, 10.0, 50.0});
+  EXPECT_NEAR(true_capacity(spec, 0, 10.0), 10'000.0, 1.0);
+  EXPECT_NEAR(true_capacity(spec, 0, 60.0), 100'000.0, 1.0);
+  EXPECT_NEAR(true_capacity(spec, 1, 10.0), 100'000.0, 1.0);
+
+  spec.hosts = HostModel({{2.0, 8}, {1.0, 8}}, {0, 1});
+  EXPECT_NEAR(true_capacity(spec, 0, 60.0), 200'000.0, 1.0);
+}
+
+TEST(Harness, PermanentLoadNeverLifts) {
+  ExperimentSpec spec;
+  spec.workers = 1;
+  spec.base_multiplies = 1000;
+  spec.loads.push_back({{0}, 10.0, -1.0});
+  EXPECT_NEAR(true_capacity(spec, 0, 1e6), 10'000.0, 1.0);
+}
+
+TEST(Harness, IdealWorkIntegratesPhases) {
+  ExperimentSpec spec;
+  spec.workers = 2;
+  spec.base_multiplies = 1000;  // 100K tuples/s per unloaded worker
+  spec.duration_paper_s = 100.0;
+  spec.loads.push_back({{0}, 10.0, 50.0});
+  // Phase 1 (0-50 paper-s): 10K + 100K = 110K/s of virtual time. Phase 2:
+  // 200K/s. Virtual seconds per paper second: 0.01.
+  const double expected = (110e3 * 50 + 200e3 * 50) * 0.01;
+  EXPECT_NEAR(static_cast<double>(ideal_work(spec)), expected,
+              expected * 0.01);
+}
+
+TEST(Harness, OraclePolicyGetsCapacityProportionalWeights) {
+  ExperimentSpec spec;
+  spec.workers = 2;
+  spec.base_multiplies = 1000;
+  spec.loads.push_back({{0}, 3.0, -1.0});  // worker 0 at 1/3 capacity
+  auto policy = make_policy(PolicyKind::kOracle, spec);
+  EXPECT_EQ(policy->weights(), (WeightVector{250, 750}));
+}
+
+TEST(Harness, MakeRegionWiresEverything) {
+  ExperimentSpec spec;
+  spec.workers = 2;
+  spec.base_multiplies = 1000;
+  auto region = make_region(PolicyKind::kRoundRobin, spec);
+  region->run_for(spec.scale.paper_second * 5);
+  EXPECT_GT(region->emitted(), 0u);
+}
+
+TEST(Harness, FixedWorkRunCompletes) {
+  ExperimentSpec spec;
+  spec.workers = 2;
+  spec.base_multiplies = 1000;
+  spec.duration_paper_s = 20.0;
+  const std::uint64_t work = ideal_work(spec);
+  const ExperimentResult r =
+      run_fixed_work(PolicyKind::kRoundRobin, spec, work);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GE(r.emitted, work);
+  EXPECT_GT(r.final_throughput_mtps, 0.0);
+  // Two equal workers and an even split: RR should take roughly the
+  // nominal duration (generous envelope).
+  EXPECT_GT(r.exec_time_paper_s, 10.0);
+  EXPECT_LT(r.exec_time_paper_s, 40.0);
+}
+
+TEST(Harness, AlternativesPreserveThePapersOrdering) {
+  // Static 10x load on half the PEs (Figure 9 left, 4 PEs): Oracle* is
+  // fastest; both LB variants land within a modest factor of it; RR is
+  // far behind.
+  ExperimentSpec spec;
+  spec.workers = 4;
+  spec.base_multiplies = 1000;
+  spec.duration_paper_s = 60.0;
+  spec.loads.push_back({{0, 1}, 10.0, -1.0});
+  const std::uint64_t work = ideal_work(spec);
+  const auto results = run_alternatives(spec, work);
+  ASSERT_EQ(results.size(), 4u);
+  const double oracle = results[0].exec_time_paper_s;
+  const double lb_static = results[1].exec_time_paper_s;
+  const double lb_adaptive = results[2].exec_time_paper_s;
+  const double rr = results[3].exec_time_paper_s;
+  EXPECT_LT(oracle, lb_static);
+  EXPECT_LT(oracle, lb_adaptive);
+  EXPECT_LT(lb_static, 2.5 * oracle);
+  EXPECT_LT(lb_adaptive, 2.5 * oracle);
+  EXPECT_GT(rr, 1.5 * lb_static);
+}
+
+TEST(Harness, RerouteBarelyHelpsAtLowCostWithBoundedMerger) {
+  // Section 4.4, low-cost half: with 1,000-multiply tuples and bounded
+  // buffering all the way through the merger (the paper's transport), the
+  // re-routing baseline makes "no discernible difference" vs RR. Both hit
+  // the deadline here; what distinguishes failure from success is the
+  // work completed.
+  ExperimentSpec spec;
+  spec.workers = 2;
+  spec.base_multiplies = 1000;
+  spec.duration_paper_s = 20.0;
+  spec.merge_buffer = 64;  // block-at-the-merger transport
+  spec.loads.push_back({{0}, 100.0, -1.0});
+  const std::uint64_t work = ideal_work(spec);
+  const ExperimentResult rr =
+      run_fixed_work(PolicyKind::kRoundRobin, spec, work, 10.0);
+  const ExperimentResult rrr =
+      run_fixed_work(PolicyKind::kReroute, spec, work, 10.0);
+  // Re-routing happens, but buys little extra progress (our per-tuple
+  // re-route granularity is finer than the paper's transport, so we see
+  // a somewhat larger effect than their "no discernible difference" —
+  // see EXPERIMENTS.md); it remains nowhere near an actual fix.
+  EXPECT_GT(rrr.rerouted, 0u);
+  EXPECT_LT(static_cast<double>(rrr.emitted),
+            1.5 * static_cast<double>(rr.emitted));
+  const ExperimentResult oracle =
+      run_fixed_work(PolicyKind::kOracle, spec, work, 10.0);
+  EXPECT_GT(static_cast<double>(oracle.emitted),
+            2.0 * static_cast<double>(rrr.emitted));
+}
+
+TEST(Harness, RerouteHelpsSomewhatAtHighCostWithBoundedMerger) {
+  // Section 4.4, high-cost half: with 10,000-multiply tuples re-routing
+  // yields a real but clearly insufficient improvement.
+  ExperimentSpec spec;
+  spec.workers = 2;
+  spec.base_multiplies = 10'000;
+  spec.duration_paper_s = 20.0;
+  spec.merge_buffer = 64;
+  spec.loads.push_back({{0}, 100.0, -1.0});
+  const std::uint64_t work = ideal_work(spec);
+  const ExperimentResult rr =
+      run_fixed_work(PolicyKind::kRoundRobin, spec, work, 10.0);
+  const ExperimentResult rrr =
+      run_fixed_work(PolicyKind::kReroute, spec, work, 10.0);
+  EXPECT_GT(static_cast<double>(rrr.emitted),
+            1.15 * static_cast<double>(rr.emitted));
+  // ...but far from the oracle's ideal distribution.
+  const ExperimentResult oracle =
+      run_fixed_work(PolicyKind::kOracle, spec, work, 10.0);
+  EXPECT_GT(static_cast<double>(oracle.emitted),
+            1.5 * static_cast<double>(rrr.emitted));
+}
+
+}  // namespace
+}  // namespace slb::sim

@@ -1,0 +1,73 @@
+// Tests for the bounded FIFO used throughout the simulated pipeline.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/queues.h"
+
+namespace slb::sim {
+namespace {
+
+TEST(BoundedFifo, StartsEmpty) {
+  BoundedFifo<int> q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.full());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_EQ(q.free_slots(), 4u);
+}
+
+TEST(BoundedFifo, FifoOrder) {
+  BoundedFifo<int> q(3);
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedFifo, FullAtCapacity) {
+  BoundedFifo<int> q(2);
+  q.push(1);
+  EXPECT_FALSE(q.full());
+  q.push(2);
+  EXPECT_TRUE(q.full());
+  EXPECT_EQ(q.free_slots(), 0u);
+}
+
+TEST(BoundedFifo, TryPushRejectsWhenFull) {
+  BoundedFifo<int> q(1);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_FALSE(q.try_push(2));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BoundedFifo, FrontPeeksWithoutRemoval) {
+  BoundedFifo<std::string> q(2);
+  q.push("a");
+  EXPECT_EQ(q.front(), "a");
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedFifo, InterleavedPushPop) {
+  BoundedFifo<int> q(2);
+  int next_in = 0;
+  int next_out = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (!q.full()) q.push(next_in++);
+    EXPECT_EQ(q.pop(), next_out++);
+  }
+  EXPECT_EQ(next_in - next_out, static_cast<int>(q.size()));
+}
+
+TEST(BoundedFifo, MoveOnlyTypesSupported) {
+  BoundedFifo<std::unique_ptr<int>> q(1);
+  q.push(std::make_unique<int>(42));
+  const std::unique_ptr<int> out = q.pop();
+  EXPECT_EQ(*out, 42);
+}
+
+}  // namespace
+}  // namespace slb::sim

@@ -1,0 +1,158 @@
+// Tests for the smooth weighted round-robin router.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/wrr.h"
+#include "util/rng.h"
+
+namespace slb {
+namespace {
+
+std::vector<int> pick_counts(SmoothWrr& wrr, int picks) {
+  std::vector<int> counts(static_cast<std::size_t>(wrr.connections()), 0);
+  for (int i = 0; i < picks; ++i) {
+    const int j = wrr.pick();
+    EXPECT_GE(j, 0);
+    EXPECT_LT(j, wrr.connections());
+    ++counts[static_cast<std::size_t>(j)];
+  }
+  return counts;
+}
+
+TEST(SmoothWrr, DefaultIsEvenSplit) {
+  SmoothWrr wrr(4);
+  const std::vector<int> counts = pick_counts(wrr, 4000);
+  for (int c : counts) EXPECT_EQ(c, 1000);
+}
+
+TEST(SmoothWrr, ExactProportionsOverOneCycle) {
+  SmoothWrr wrr(3);
+  wrr.set_weights({500, 300, 200});
+  const std::vector<int> counts = pick_counts(wrr, 1000);
+  EXPECT_EQ(counts[0], 500);
+  EXPECT_EQ(counts[1], 300);
+  EXPECT_EQ(counts[2], 200);
+}
+
+TEST(SmoothWrr, ZeroWeightNeverPicked) {
+  SmoothWrr wrr(3);
+  wrr.set_weights({600, 0, 400});
+  const std::vector<int> counts = pick_counts(wrr, 2000);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_EQ(counts[0], 1200);
+  EXPECT_EQ(counts[2], 800);
+}
+
+TEST(SmoothWrr, AllZeroFallsBackToRoundRobin) {
+  SmoothWrr wrr(3);
+  wrr.set_weights({0, 0, 0});
+  EXPECT_EQ(wrr.pick(), 0);
+  EXPECT_EQ(wrr.pick(), 1);
+  EXPECT_EQ(wrr.pick(), 2);
+  EXPECT_EQ(wrr.pick(), 0);
+}
+
+TEST(SmoothWrr, SingleConnection) {
+  SmoothWrr wrr(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(wrr.pick(), 0);
+}
+
+TEST(SmoothWrr, InterleavesRatherThanBursts) {
+  // With weights 2:1:1 the dominant connection must never be picked three
+  // times in a row — that is the "smooth" property (nginx-style).
+  SmoothWrr wrr(3);
+  wrr.set_weights({500, 250, 250});
+  int run = 0;
+  int max_run = 0;
+  int prev = -1;
+  for (int i = 0; i < 4000; ++i) {
+    const int j = wrr.pick();
+    run = (j == prev) ? run + 1 : 1;
+    max_run = std::max(max_run, run);
+    prev = j;
+  }
+  EXPECT_LE(max_run, 2);
+}
+
+TEST(SmoothWrr, PrefixDeviationBounded) {
+  // At every prefix of the pick sequence, the count of connection j must
+  // stay within connections() picks of the ideal fraction.
+  SmoothWrr wrr(4);
+  const WeightVector w{400, 300, 200, 100};
+  wrr.set_weights(w);
+  std::vector<int> counts(4, 0);
+  for (int i = 1; i <= 2000; ++i) {
+    ++counts[static_cast<std::size_t>(wrr.pick())];
+    for (int j = 0; j < 4; ++j) {
+      const double ideal =
+          static_cast<double>(i) * w[static_cast<std::size_t>(j)] / 1000.0;
+      EXPECT_NEAR(counts[static_cast<std::size_t>(j)], ideal, 4.0)
+          << "prefix " << i << " connection " << j;
+    }
+  }
+}
+
+TEST(SmoothWrr, WeightChangeTakesEffect) {
+  SmoothWrr wrr(2);
+  wrr.set_weights({1000, 0});
+  (void)pick_counts(wrr, 10);
+  wrr.set_weights({0, 1000});
+  const std::vector<int> counts = pick_counts(wrr, 10);
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[1], 10);
+}
+
+TEST(SmoothWrr, WeightChangeDoesNotBurst) {
+  // After shifting weight toward connection 1, it must not receive a long
+  // compensating burst from stale credit.
+  SmoothWrr wrr(2);
+  wrr.set_weights({900, 100});
+  (void)pick_counts(wrr, 1000);
+  wrr.set_weights({500, 500});
+  int longest_run_1 = 0;
+  int run = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (wrr.pick() == 1) {
+      ++run;
+      longest_run_1 = std::max(longest_run_1, run);
+    } else {
+      run = 0;
+    }
+  }
+  EXPECT_LE(longest_run_1, 3);
+}
+
+class WrrProportions : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WrrProportions, RandomWeightsRouteProportionally) {
+  Rng rng(GetParam());
+  const int n = 2 + static_cast<int>(rng.below(15));
+  WeightVector w(static_cast<std::size_t>(n), 0);
+  Weight remaining = kWeightUnits;
+  for (int j = 0; j < n - 1; ++j) {
+    const Weight x = static_cast<Weight>(
+        rng.below(static_cast<std::uint64_t>(remaining) + 1));
+    w[static_cast<std::size_t>(j)] = x;
+    remaining -= x;
+  }
+  w[static_cast<std::size_t>(n - 1)] = remaining;
+
+  SmoothWrr wrr(n);
+  wrr.set_weights(w);
+  std::vector<int> counts(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < kWeightUnits; ++i) {
+    ++counts[static_cast<std::size_t>(wrr.pick())];
+  }
+  for (int j = 0; j < n; ++j) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(j)],
+              w[static_cast<std::size_t>(j)])
+        << "connection " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WrrProportions,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace slb

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Render the bench harness's CSV traces as figures (matplotlib).
+
+Usage:
+    python3 tools/plot_traces.py [bench_results_dir] [output_dir]
+
+Produces, for whichever CSVs exist:
+    fig02.png          cumulative blocking time + blocking rate
+    fig05.png          blocking-rate series per fixed split
+    fig08_top.png      weight trajectories (3 PEs, 100x load until t/8)
+    fig08_bottom.png   weight trajectories (3 PEs, equal capacity)
+    fig11_top.png      fast/slow host weight trajectories
+    fig12_weights.png  mean weight per load class over time (64 channels)
+    fig12_heatmap.png  the clustering heatmap (channel x time, cluster id)
+
+matplotlib is optional for the repository (nothing else depends on it);
+the benches themselves print their tables without it.
+"""
+import csv
+import os
+import sys
+
+
+def load(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    return rows
+
+
+def columns(rows, prefix):
+    n = 0
+    while f"{prefix}{n}" in rows[0]:
+        n += 1
+    return n
+
+
+def main():
+    indir = sys.argv[1] if len(sys.argv) > 1 else "bench_results"
+    outdir = sys.argv[2] if len(sys.argv) > 2 else indir
+    os.makedirs(outdir, exist_ok=True)
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        # Validation mode: no plots, but confirm every trace parses.
+        print("matplotlib not available; validating CSVs only")
+        for name in sorted(os.listdir(indir)):
+            if not name.endswith(".csv"):
+                continue
+            rows = load(os.path.join(indir, name))
+            cols = len(rows[0]) if rows else 0
+            print(f"  {name}: {len(rows)} rows x {cols} columns")
+        return
+
+    def save(fig, name):
+        path = os.path.join(outdir, name)
+        fig.tight_layout()
+        fig.savefig(path, dpi=130)
+        print(f"wrote {path}")
+
+    p = os.path.join(indir, "fig02.csv")
+    if os.path.exists(p):
+        rows = load(p)
+        t = [float(r["paper_s"]) for r in rows]
+        fig, (a, b) = plt.subplots(2, 1, figsize=(6, 5), sharex=True)
+        a.plot(t, [float(r["cumulative_blocked_s"]) for r in rows])
+        a.set_ylabel("cumulative blocked (s)")
+        b.plot(t, [float(r["blocking_rate"]) for r in rows])
+        b.set_ylabel("blocking rate")
+        b.set_xlabel("paper seconds")
+        a.set_title("Figure 2: cumulative blocking time and rate")
+        save(fig, "fig02.png")
+
+    p = os.path.join(indir, "fig05.csv")
+    if os.path.exists(p):
+        rows = load(p)
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for split in sorted({r["split_w1"] for r in rows}, reverse=True):
+            series = [r for r in rows if r["split_w1"] == split]
+            ax.plot([float(r["paper_s"]) for r in series],
+                    [float(r["blocking_rate_conn1"]) for r in series],
+                    label=f"{float(split) / 10:.0f}%")
+        ax.set_xlabel("paper seconds")
+        ax.set_ylabel("blocking rate, connection 1")
+        ax.legend(title="conn-1 share")
+        ax.set_title("Figure 5: blocking rate under fixed splits")
+        save(fig, "fig05.png")
+
+    for name, title in [
+        ("fig08_top", "Figure 8 top: one PE 100x loaded until t/8"),
+        ("fig08_bottom", "Figure 8 bottom: equal capacity"),
+        ("fig11_top", "Figure 11 top: fast vs slow host"),
+    ]:
+        p = os.path.join(indir, f"{name}.csv")
+        if not os.path.exists(p):
+            continue
+        rows = load(p)
+        n = columns(rows, "w")
+        t = [float(r["paper_s"]) for r in rows]
+        fig, ax = plt.subplots(figsize=(7, 4))
+        for j in range(n):
+            ax.plot(t, [float(r[f"w{j}"]) for r in rows],
+                    label=f"connection {j}")
+        ax.set_xlabel("paper seconds")
+        ax.set_ylabel("allocation weight (0.1% units)")
+        ax.legend()
+        ax.set_title(title)
+        save(fig, f"{name}.png")
+
+    p = os.path.join(indir, "fig12.csv")
+    if os.path.exists(p):
+        rows = load(p)
+        n = columns(rows, "w")
+        t = [float(r["paper_s"]) for r in rows]
+
+        def class_of(j):
+            return 0 if j < 20 else (1 if j < 40 else 2)
+
+        fig, ax = plt.subplots(figsize=(7, 4))
+        labels = ["100x (20 ch)", "5x (20 ch)", "unloaded (24 ch)"]
+        sizes = [20, 20, 24]
+        for cls in range(3):
+            mean = [
+                sum(float(r[f"w{j}"]) for j in range(n)
+                    if class_of(j) == cls) / sizes[cls]
+                for r in rows
+            ]
+            ax.plot(t, mean, label=labels[cls])
+        ax.set_xlabel("paper seconds")
+        ax.set_ylabel("mean weight per channel (0.1% units)")
+        ax.legend()
+        ax.set_title("Figure 12: mean allocation weight per load class")
+        save(fig, "fig12_weights.png")
+
+        if f"cluster0" in rows[0]:
+            grid = [[float(r[f"cluster{j}"]) for j in range(n)]
+                    for r in rows]
+            fig, ax = plt.subplots(figsize=(7, 5))
+            ax.imshow(grid, aspect="auto", interpolation="nearest",
+                      cmap="tab20")
+            ax.set_xlabel("channel")
+            ax.set_ylabel("time (periods, t=0 at top)")
+            ax.set_title("Figure 12: clustering heatmap")
+            save(fig, "fig12_heatmap.png")
+
+
+if __name__ == "__main__":
+    main()
