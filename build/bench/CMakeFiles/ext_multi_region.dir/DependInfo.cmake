@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_multi_region.cpp" "bench/CMakeFiles/ext_multi_region.dir/ext_multi_region.cpp.o" "gcc" "bench/CMakeFiles/ext_multi_region.dir/ext_multi_region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/slb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/slb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/slb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multi_region.dir/ext_multi_region.cpp.o"
+  "CMakeFiles/ext_multi_region.dir/ext_multi_region.cpp.o.d"
+  "ext_multi_region"
+  "ext_multi_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multi_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

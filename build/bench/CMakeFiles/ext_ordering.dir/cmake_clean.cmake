@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ordering.dir/ext_ordering.cpp.o"
+  "CMakeFiles/ext_ordering.dir/ext_ordering.cpp.o.d"
+  "ext_ordering"
+  "ext_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_blocking_rate.dir/fig02_blocking_rate.cpp.o"
+  "CMakeFiles/fig02_blocking_rate.dir/fig02_blocking_rate.cpp.o.d"
+  "fig02_blocking_rate"
+  "fig02_blocking_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_blocking_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

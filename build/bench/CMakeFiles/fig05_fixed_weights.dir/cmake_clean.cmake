@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_fixed_weights.dir/fig05_fixed_weights.cpp.o"
+  "CMakeFiles/fig05_fixed_weights.dir/fig05_fixed_weights.cpp.o.d"
+  "fig05_fixed_weights"
+  "fig05_fixed_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_fixed_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

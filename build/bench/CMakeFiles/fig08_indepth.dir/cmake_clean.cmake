@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_indepth.dir/fig08_indepth.cpp.o"
+  "CMakeFiles/fig08_indepth.dir/fig08_indepth.cpp.o.d"
+  "fig08_indepth"
+  "fig08_indepth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_indepth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

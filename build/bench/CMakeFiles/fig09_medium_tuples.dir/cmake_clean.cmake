@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_medium_tuples.dir/fig09_medium_tuples.cpp.o"
+  "CMakeFiles/fig09_medium_tuples.dir/fig09_medium_tuples.cpp.o.d"
+  "fig09_medium_tuples"
+  "fig09_medium_tuples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_medium_tuples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

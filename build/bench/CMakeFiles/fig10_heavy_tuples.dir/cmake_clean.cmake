@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_heavy_tuples.dir/fig10_heavy_tuples.cpp.o"
+  "CMakeFiles/fig10_heavy_tuples.dir/fig10_heavy_tuples.cpp.o.d"
+  "fig10_heavy_tuples"
+  "fig10_heavy_tuples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_heavy_tuples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_hetero.dir/fig11_hetero.cpp.o"
+  "CMakeFiles/fig11_hetero.dir/fig11_hetero.cpp.o.d"
+  "fig11_hetero"
+  "fig11_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_clustering_indepth.dir/fig12_clustering_indepth.cpp.o"
+  "CMakeFiles/fig12_clustering_indepth.dir/fig12_clustering_indepth.cpp.o.d"
+  "fig12_clustering_indepth"
+  "fig12_clustering_indepth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_clustering_indepth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

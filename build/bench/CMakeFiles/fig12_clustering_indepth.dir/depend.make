@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_clustering_indepth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_clustering_scale.dir/fig13_clustering_scale.cpp.o"
+  "CMakeFiles/fig13_clustering_scale.dir/fig13_clustering_scale.cpp.o.d"
+  "fig13_clustering_scale"
+  "fig13_clustering_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_clustering_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec44_rerouting.dir/sec44_rerouting.cpp.o"
+  "CMakeFiles/sec44_rerouting.dir/sec44_rerouting.cpp.o.d"
+  "sec44_rerouting"
+  "sec44_rerouting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec44_rerouting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

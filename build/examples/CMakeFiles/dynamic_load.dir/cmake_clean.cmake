@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_load.dir/dynamic_load.cpp.o"
+  "CMakeFiles/dynamic_load.dir/dynamic_load.cpp.o.d"
+  "dynamic_load"
+  "dynamic_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

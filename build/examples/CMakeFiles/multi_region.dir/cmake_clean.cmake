@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_region.dir/multi_region.cpp.o"
+  "CMakeFiles/multi_region.dir/multi_region.cpp.o.d"
+  "multi_region"
+  "multi_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

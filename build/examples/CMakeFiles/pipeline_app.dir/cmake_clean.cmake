@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_app.dir/pipeline_app.cpp.o"
+  "CMakeFiles/pipeline_app.dir/pipeline_app.cpp.o.d"
+  "pipeline_app"
+  "pipeline_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

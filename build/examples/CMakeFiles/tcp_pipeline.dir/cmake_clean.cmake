@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_pipeline.dir/tcp_pipeline.cpp.o"
+  "CMakeFiles/tcp_pipeline.dir/tcp_pipeline.cpp.o.d"
+  "tcp_pipeline"
+  "tcp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clustering.cc" "src/core/CMakeFiles/slb_core.dir/clustering.cc.o" "gcc" "src/core/CMakeFiles/slb_core.dir/clustering.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/slb_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/slb_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/distance.cc" "src/core/CMakeFiles/slb_core.dir/distance.cc.o" "gcc" "src/core/CMakeFiles/slb_core.dir/distance.cc.o.d"
+  "/root/repo/src/core/monotone_regression.cc" "src/core/CMakeFiles/slb_core.dir/monotone_regression.cc.o" "gcc" "src/core/CMakeFiles/slb_core.dir/monotone_regression.cc.o.d"
+  "/root/repo/src/core/policies.cc" "src/core/CMakeFiles/slb_core.dir/policies.cc.o" "gcc" "src/core/CMakeFiles/slb_core.dir/policies.cc.o.d"
+  "/root/repo/src/core/rap.cc" "src/core/CMakeFiles/slb_core.dir/rap.cc.o" "gcc" "src/core/CMakeFiles/slb_core.dir/rap.cc.o.d"
+  "/root/repo/src/core/rate_estimator.cc" "src/core/CMakeFiles/slb_core.dir/rate_estimator.cc.o" "gcc" "src/core/CMakeFiles/slb_core.dir/rate_estimator.cc.o.d"
+  "/root/repo/src/core/rate_function.cc" "src/core/CMakeFiles/slb_core.dir/rate_function.cc.o" "gcc" "src/core/CMakeFiles/slb_core.dir/rate_function.cc.o.d"
+  "/root/repo/src/core/wrr.cc" "src/core/CMakeFiles/slb_core.dir/wrr.cc.o" "gcc" "src/core/CMakeFiles/slb_core.dir/wrr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/slb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slb_core.dir/clustering.cc.o"
+  "CMakeFiles/slb_core.dir/clustering.cc.o.d"
+  "CMakeFiles/slb_core.dir/controller.cc.o"
+  "CMakeFiles/slb_core.dir/controller.cc.o.d"
+  "CMakeFiles/slb_core.dir/distance.cc.o"
+  "CMakeFiles/slb_core.dir/distance.cc.o.d"
+  "CMakeFiles/slb_core.dir/monotone_regression.cc.o"
+  "CMakeFiles/slb_core.dir/monotone_regression.cc.o.d"
+  "CMakeFiles/slb_core.dir/policies.cc.o"
+  "CMakeFiles/slb_core.dir/policies.cc.o.d"
+  "CMakeFiles/slb_core.dir/rap.cc.o"
+  "CMakeFiles/slb_core.dir/rap.cc.o.d"
+  "CMakeFiles/slb_core.dir/rate_estimator.cc.o"
+  "CMakeFiles/slb_core.dir/rate_estimator.cc.o.d"
+  "CMakeFiles/slb_core.dir/rate_function.cc.o"
+  "CMakeFiles/slb_core.dir/rate_function.cc.o.d"
+  "CMakeFiles/slb_core.dir/wrr.cc.o"
+  "CMakeFiles/slb_core.dir/wrr.cc.o.d"
+  "libslb_core.a"
+  "libslb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

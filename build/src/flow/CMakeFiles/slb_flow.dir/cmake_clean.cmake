@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slb_flow.dir/pipeline.cc.o"
+  "CMakeFiles/slb_flow.dir/pipeline.cc.o.d"
+  "libslb_flow.a"
+  "libslb_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slb_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libslb_flow.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/local_region.cc" "src/runtime/CMakeFiles/slb_runtime.dir/local_region.cc.o" "gcc" "src/runtime/CMakeFiles/slb_runtime.dir/local_region.cc.o.d"
+  "/root/repo/src/runtime/merger_pe.cc" "src/runtime/CMakeFiles/slb_runtime.dir/merger_pe.cc.o" "gcc" "src/runtime/CMakeFiles/slb_runtime.dir/merger_pe.cc.o.d"
+  "/root/repo/src/runtime/worker_pe.cc" "src/runtime/CMakeFiles/slb_runtime.dir/worker_pe.cc.o" "gcc" "src/runtime/CMakeFiles/slb_runtime.dir/worker_pe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/slb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/slb_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/slb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

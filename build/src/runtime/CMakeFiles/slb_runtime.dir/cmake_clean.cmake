@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slb_runtime.dir/local_region.cc.o"
+  "CMakeFiles/slb_runtime.dir/local_region.cc.o.d"
+  "CMakeFiles/slb_runtime.dir/merger_pe.cc.o"
+  "CMakeFiles/slb_runtime.dir/merger_pe.cc.o.d"
+  "CMakeFiles/slb_runtime.dir/worker_pe.cc.o"
+  "CMakeFiles/slb_runtime.dir/worker_pe.cc.o.d"
+  "libslb_runtime.a"
+  "libslb_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slb_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/channel.cc" "src/sim/CMakeFiles/slb_sim.dir/channel.cc.o" "gcc" "src/sim/CMakeFiles/slb_sim.dir/channel.cc.o.d"
+  "/root/repo/src/sim/harness.cc" "src/sim/CMakeFiles/slb_sim.dir/harness.cc.o" "gcc" "src/sim/CMakeFiles/slb_sim.dir/harness.cc.o.d"
+  "/root/repo/src/sim/merger.cc" "src/sim/CMakeFiles/slb_sim.dir/merger.cc.o" "gcc" "src/sim/CMakeFiles/slb_sim.dir/merger.cc.o.d"
+  "/root/repo/src/sim/region.cc" "src/sim/CMakeFiles/slb_sim.dir/region.cc.o" "gcc" "src/sim/CMakeFiles/slb_sim.dir/region.cc.o.d"
+  "/root/repo/src/sim/splitter.cc" "src/sim/CMakeFiles/slb_sim.dir/splitter.cc.o" "gcc" "src/sim/CMakeFiles/slb_sim.dir/splitter.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/slb_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/slb_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/worker.cc" "src/sim/CMakeFiles/slb_sim.dir/worker.cc.o" "gcc" "src/sim/CMakeFiles/slb_sim.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/slb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/slb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slb_sim.dir/channel.cc.o"
+  "CMakeFiles/slb_sim.dir/channel.cc.o.d"
+  "CMakeFiles/slb_sim.dir/harness.cc.o"
+  "CMakeFiles/slb_sim.dir/harness.cc.o.d"
+  "CMakeFiles/slb_sim.dir/merger.cc.o"
+  "CMakeFiles/slb_sim.dir/merger.cc.o.d"
+  "CMakeFiles/slb_sim.dir/region.cc.o"
+  "CMakeFiles/slb_sim.dir/region.cc.o.d"
+  "CMakeFiles/slb_sim.dir/splitter.cc.o"
+  "CMakeFiles/slb_sim.dir/splitter.cc.o.d"
+  "CMakeFiles/slb_sim.dir/trace.cc.o"
+  "CMakeFiles/slb_sim.dir/trace.cc.o.d"
+  "CMakeFiles/slb_sim.dir/worker.cc.o"
+  "CMakeFiles/slb_sim.dir/worker.cc.o.d"
+  "libslb_sim.a"
+  "libslb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

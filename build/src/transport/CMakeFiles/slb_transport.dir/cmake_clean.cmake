@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slb_transport.dir/framing.cc.o"
+  "CMakeFiles/slb_transport.dir/framing.cc.o.d"
+  "CMakeFiles/slb_transport.dir/instrumented_sender.cc.o"
+  "CMakeFiles/slb_transport.dir/instrumented_sender.cc.o.d"
+  "CMakeFiles/slb_transport.dir/socket.cc.o"
+  "CMakeFiles/slb_transport.dir/socket.cc.o.d"
+  "libslb_transport.a"
+  "libslb_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slb_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

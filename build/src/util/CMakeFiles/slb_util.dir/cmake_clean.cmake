@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slb_util.dir/rng.cc.o"
+  "CMakeFiles/slb_util.dir/rng.cc.o.d"
+  "libslb_util.a"
+  "libslb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clustering.dir/test_clustering.cc.o"
+  "CMakeFiles/test_clustering.dir/test_clustering.cc.o.d"
+  "test_clustering"
+  "test_clustering.pdb"
+  "test_clustering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

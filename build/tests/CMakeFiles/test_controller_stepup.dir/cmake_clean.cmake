@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controller_stepup.dir/test_controller_stepup.cc.o"
+  "CMakeFiles/test_controller_stepup.dir/test_controller_stepup.cc.o.d"
+  "test_controller_stepup"
+  "test_controller_stepup.pdb"
+  "test_controller_stepup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controller_stepup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monotone_regression.dir/test_monotone_regression.cc.o"
+  "CMakeFiles/test_monotone_regression.dir/test_monotone_regression.cc.o.d"
+  "test_monotone_regression"
+  "test_monotone_regression.pdb"
+  "test_monotone_regression[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monotone_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_region.dir/test_multi_region.cc.o"
+  "CMakeFiles/test_multi_region.dir/test_multi_region.cc.o.d"
+  "test_multi_region"
+  "test_multi_region.pdb"
+  "test_multi_region[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

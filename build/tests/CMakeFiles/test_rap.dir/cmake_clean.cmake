@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rap.dir/test_rap.cc.o"
+  "CMakeFiles/test_rap.dir/test_rap.cc.o.d"
+  "test_rap"
+  "test_rap.pdb"
+  "test_rap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rate_estimator.dir/test_rate_estimator.cc.o"
+  "CMakeFiles/test_rate_estimator.dir/test_rate_estimator.cc.o.d"
+  "test_rate_estimator"
+  "test_rate_estimator.pdb"
+  "test_rate_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rate_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rate_function.dir/test_rate_function.cc.o"
+  "CMakeFiles/test_rate_function.dir/test_rate_function.cc.o.d"
+  "test_rate_function"
+  "test_rate_function.pdb"
+  "test_rate_function[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rate_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_channel.dir/test_sim_channel.cc.o"
+  "CMakeFiles/test_sim_channel.dir/test_sim_channel.cc.o.d"
+  "test_sim_channel"
+  "test_sim_channel.pdb"
+  "test_sim_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

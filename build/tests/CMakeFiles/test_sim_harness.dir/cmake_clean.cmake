@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_harness.dir/test_sim_harness.cc.o"
+  "CMakeFiles/test_sim_harness.dir/test_sim_harness.cc.o.d"
+  "test_sim_harness"
+  "test_sim_harness.pdb"
+  "test_sim_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_merger.dir/test_sim_merger.cc.o"
+  "CMakeFiles/test_sim_merger.dir/test_sim_merger.cc.o.d"
+  "test_sim_merger"
+  "test_sim_merger.pdb"
+  "test_sim_merger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_merger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

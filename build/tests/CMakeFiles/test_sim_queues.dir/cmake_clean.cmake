@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_queues.dir/test_sim_queues.cc.o"
+  "CMakeFiles/test_sim_queues.dir/test_sim_queues.cc.o.d"
+  "test_sim_queues"
+  "test_sim_queues.pdb"
+  "test_sim_queues[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_region.dir/test_sim_region.cc.o"
+  "CMakeFiles/test_sim_region.dir/test_sim_region.cc.o.d"
+  "test_sim_region"
+  "test_sim_region.pdb"
+  "test_sim_region[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_splitter.dir/test_sim_splitter.cc.o"
+  "CMakeFiles/test_sim_splitter.dir/test_sim_splitter.cc.o.d"
+  "test_sim_splitter"
+  "test_sim_splitter.pdb"
+  "test_sim_splitter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_splitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_worker.dir/test_sim_worker.cc.o"
+  "CMakeFiles/test_sim_worker.dir/test_sim_worker.cc.o.d"
+  "test_sim_worker"
+  "test_sim_worker.pdb"
+  "test_sim_worker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sink.dir/test_sink.cc.o"
+  "CMakeFiles/test_sink.dir/test_sink.cc.o.d"
+  "test_sink"
+  "test_sink.pdb"
+  "test_sink[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unordered.dir/test_unordered.cc.o"
+  "CMakeFiles/test_unordered.dir/test_unordered.cc.o.d"
+  "test_unordered"
+  "test_unordered.pdb"
+  "test_unordered[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unordered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wrr.dir/test_wrr.cc.o"
+  "CMakeFiles/test_wrr.dir/test_wrr.cc.o.d"
+  "test_wrr"
+  "test_wrr.pdb"
+  "test_wrr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

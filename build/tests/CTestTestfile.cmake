@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_monotone_regression[1]_include.cmake")
+include("/root/repo/build/tests/test_rate_function[1]_include.cmake")
+include("/root/repo/build/tests/test_rate_estimator[1]_include.cmake")
+include("/root/repo/build/tests/test_rap[1]_include.cmake")
+include("/root/repo/build/tests/test_wrr[1]_include.cmake")
+include("/root/repo/build/tests/test_distance[1]_include.cmake")
+include("/root/repo/build/tests/test_clustering[1]_include.cmake")
+include("/root/repo/build/tests/test_controller[1]_include.cmake")
+include("/root/repo/build/tests/test_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_event[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_queues[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_merger[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_worker[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_splitter[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_region[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_unordered[1]_include.cmake")
+include("/root/repo/build/tests/test_multi_region[1]_include.cmake")
+include("/root/repo/build/tests/test_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_sink[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism[1]_include.cmake")
+include("/root/repo/build/tests/test_controller_stepup[1]_include.cmake")
+include("/root/repo/build/tests/test_latency[1]_include.cmake")
