@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/policies.h"  // weights_from_shares
+
 namespace slb {
 
 LoadBalanceController::LoadBalanceController(int connections,
                                              ControllerConfig config)
     : config_(config),
       estimator_(connections, config.ewma_alpha),
-      weights_(even_weights(connections)) {
+      weights_(even_weights(connections)),
+      down_(static_cast<std::size_t>(connections), 0) {
   assert(connections > 0);
   functions_.reserve(static_cast<std::size_t>(connections));
   for (int j = 0; j < connections; ++j) {
@@ -37,6 +40,7 @@ const WeightVector& LoadBalanceController::update(
     const double raw = estimator_.last_raw_rate(j);
     status_.raw_rates[ju] = raw;
     status_.smoothed_rates[ju] = estimator_.rate(j);
+    if (down_[ju]) continue;  // no traffic, no information
     if (raw > 0.0) {
       seen_blocking_ = true;
       functions_[ju].observe(held[ju], raw, 1.0);
@@ -52,6 +56,10 @@ const WeightVector& LoadBalanceController::update(
   // and the optimizer would be choosing between indistinguishable
   // alternatives. Keep the current (even) split until evidence arrives.
   if (!seen_blocking_) return weights_;
+
+  // Every connection down: nothing to optimize over; hold the current
+  // weights until someone recovers.
+  if (live() == 0) return weights_;
 
   const bool use_clusters =
       config_.enable_clustering && n >= config_.clustering_min_connections;
@@ -74,6 +82,61 @@ void LoadBalanceController::set_weights(const WeightVector& w) {
   status_.weights = w;
 }
 
+int LoadBalanceController::live() const {
+  int count = 0;
+  for (char d : down_) count += d == 0 ? 1 : 0;
+  return count;
+}
+
+void LoadBalanceController::mark_down(int j) {
+  assert(j >= 0 && j < connections());
+  const auto ju = static_cast<std::size_t>(j);
+  if (down_[ju]) return;
+  down_[ju] = 1;
+  // Whatever was learned about this connection described a worker that no
+  // longer exists; a restarted replacement starts from a clean slate.
+  functions_[ju].reset();
+
+  if (live() == 0) {
+    // Nothing left to route to: keep weights (the splitter is stalled
+    // anyway) so the invariant sum(w) == kWeightUnits survives.
+    status_.weights = weights_;
+    return;
+  }
+  // Redistribute j's weight over the survivors proportionally to their
+  // current weights (even split if the survivors were all at zero), so
+  // routing continues immediately instead of waiting a sample period.
+  std::vector<double> shares(static_cast<std::size_t>(connections()), 0.0);
+  double survivor_total = 0.0;
+  for (int k = 0; k < connections(); ++k) {
+    const auto ku = static_cast<std::size_t>(k);
+    if (down_[ku]) continue;
+    shares[ku] = static_cast<double>(weights_[ku]);
+    survivor_total += shares[ku];
+  }
+  if (survivor_total <= 0.0) {
+    for (int k = 0; k < connections(); ++k) {
+      if (!down_[static_cast<std::size_t>(k)]) {
+        shares[static_cast<std::size_t>(k)] = 1.0;
+      }
+    }
+  }
+  weights_ = weights_from_shares(shares);
+  status_.weights = weights_;
+}
+
+void LoadBalanceController::mark_up(int j) {
+  assert(j >= 0 && j < connections());
+  const auto ju = static_cast<std::size_t>(j);
+  if (!down_[ju]) return;
+  down_[ju] = 0;
+  // Weight stays where it is (zero, unless min_weight raises the solver
+  // floor): the connection re-enters through the same geometric step-up
+  // probing as any shut-off channel — a trickle first, doubling per
+  // update while it keeps absorbing load without blocking.
+  functions_[ju].reset();
+}
+
 void LoadBalanceController::solve_flat() {
   const int n = connections();
   RapProblem problem;
@@ -82,6 +145,13 @@ void LoadBalanceController::solve_flat() {
   for (int j = 0; j < n; ++j) {
     const auto ju = static_cast<std::size_t>(j);
     RapVariable& v = problem.vars[ju];
+    if (down_[ju]) {
+      // Dead connection: pinned at zero; the RAP is solved over survivors.
+      v.min = 0;
+      v.max = 0;
+      v.multiplicity = 1;
+      continue;
+    }
     v.min = std::max(config_.min_weight,
                      static_cast<Weight>(weights_[ju] - config_.max_step_down));
     v.min = std::max(v.min, 0);
@@ -139,6 +209,11 @@ void LoadBalanceController::solve_clustered() {
   problem.total = kWeightUnits;
   problem.vars.assign(static_cast<std::size_t>(n),
                       RapVariable{config_.min_weight, kWeightUnits, 1});
+  for (int j = 0; j < n; ++j) {
+    if (down_[static_cast<std::size_t>(j)]) {
+      problem.vars[static_cast<std::size_t>(j)] = RapVariable{0, 0, 1};
+    }
+  }
   problem.eval = [&merged, &cluster_of](int j, Weight w) {
     return merged[static_cast<std::size_t>(
                       cluster_of[static_cast<std::size_t>(j)])]

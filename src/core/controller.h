@@ -112,6 +112,26 @@ class LoadBalanceController {
   /// Overrides the current weights (e.g. to seed a known-good split).
   void set_weights(const WeightVector& w);
 
+  /// Failure handling: declares connection j dead. Its weight drops to
+  /// zero immediately (m_j = M_j = 0 in every subsequent RAP), its
+  /// blocking-rate history is discarded, and its current weight is
+  /// redistributed proportionally over the survivors — the splitter can
+  /// keep routing without waiting for the next sample period. Idempotent.
+  void mark_down(int j);
+
+  /// Re-admits a recovered connection. Its weight restarts from zero and
+  /// climbs back via the existing geometric step-up probing (the same
+  /// trickle-feed used for re-exploring a previously shut-off channel),
+  /// so a still-sick worker costs at most a probe's worth of tuples per
+  /// period. Idempotent.
+  void mark_up(int j);
+
+  bool is_down(int j) const {
+    return down_[static_cast<std::size_t>(j)] != 0;
+  }
+  /// Number of connections currently marked up.
+  int live() const;
+
  private:
   void solve_flat();
   void solve_clustered();
@@ -121,6 +141,9 @@ class LoadBalanceController {
   std::vector<RateFunction> functions_;
   WeightVector weights_;
   ControllerStatus status_;
+  /// Down connections (mark_down) are pinned to weight 0 and excluded
+  /// from observation; char avoids vector<bool> proxy references.
+  std::vector<char> down_;
   /// Until some connection actually blocks there is no evidence to act on
   /// (all functions are identically zero); keep the even split.
   bool seen_blocking_ = false;

@@ -29,6 +29,16 @@ void LoadBalancingPolicy::on_sample(
   wrr_.set_weights(controller_.update(now, cumulative_blocked));
 }
 
+void LoadBalancingPolicy::on_channel_down(ConnectionId j) {
+  controller_.mark_down(j);
+  wrr_.set_weights(controller_.weights());
+}
+
+void LoadBalancingPolicy::on_channel_up(ConnectionId j) {
+  controller_.mark_up(j);
+  wrr_.set_weights(controller_.weights());
+}
+
 OraclePolicy::OraclePolicy(int connections, std::vector<Phase> schedule)
     : schedule_(std::move(schedule)), wrr_(connections) {
   std::sort(schedule_.begin(), schedule_.end(),

@@ -46,6 +46,16 @@ class SplitPolicy {
     (void)delivered;
   }
 
+  /// Failure feedback from the substrate: connection j's peer is gone
+  /// (detected via EPIPE/ECONNRESET on the real transport, or a fault
+  /// event in the simulator). Policies that learn per-connection state
+  /// should stop crediting j and shift its allocation to survivors.
+  virtual void on_channel_down(ConnectionId j) { (void)j; }
+
+  /// Failure feedback: connection j reconnected to a live worker and may
+  /// be re-admitted (typically via cautious probing).
+  virtual void on_channel_up(ConnectionId j) { (void)j; }
+
   /// Current allocation weights (diagnostic; sums to kWeightUnits).
   virtual const WeightVector& weights() const = 0;
 
@@ -91,6 +101,8 @@ class LoadBalancingPolicy : public SplitPolicy {
   ConnectionId pick_connection() override { return wrr_.pick(); }
   void on_sample(TimeNs now,
                  std::span<const DurationNs> cumulative_blocked) override;
+  void on_channel_down(ConnectionId j) override;
+  void on_channel_up(ConnectionId j) override;
   const WeightVector& weights() const override {
     return controller_.weights();
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <thread>
 
 #include "transport/framing.h"
 
@@ -15,6 +16,7 @@ LocalRegion::LocalRegion(LocalRegionConfig config,
       counters_(static_cast<std::size_t>(config.workers)) {
   assert(config_.workers > 0);
   assert(policy_ != nullptr);
+  net::ignore_sigpipe();  // dead peers must surface as EPIPE, not SIGPIPE
 
   // Topology bring-up: a listener per worker for the splitter connection,
   // one listener at the merger side for the worker->merger connections.
@@ -45,8 +47,18 @@ LocalRegion::LocalRegion(LocalRegionConfig config,
         std::move(worker_to_merger[static_cast<std::size_t>(j)]),
         config_.multiplies, config_.work_mode));
   }
-  merger_ = std::make_unique<MergerPe>(std::move(merger_from_worker));
+  MergerFaultConfig fault;
+  fault.enabled = !config_.failure_events.empty();
+  fault.gap_timeout = config_.merger_gap_timeout;
+  merger_ = std::make_unique<MergerPe>(std::move(merger_from_worker), fault);
   pending_.resize(static_cast<std::size_t>(config_.workers));
+
+  const auto n = static_cast<std::size_t>(config_.workers);
+  chan_down_.assign(n, 0);
+  worker_up_.assign(n, 1);
+  next_reconnect_.assign(n, 0);
+  backoff_.assign(n, 0);
+  load_mult_.assign(n, 1.0);
 }
 
 void LocalRegion::flush_pending(int k, bool blocking) {
@@ -54,8 +66,7 @@ void LocalRegion::flush_pending(int k, bool blocking) {
   if (buf.empty()) return;
   auto& sender = *senders_[static_cast<std::size_t>(k)];
   if (blocking) {
-    sender.send_all(buf.data(), buf.size());
-    buf.clear();
+    if (sender.send_all(buf.data(), buf.size())) buf.clear();
     return;
   }
   const std::size_t accepted = sender.try_send(buf.data(), buf.size());
@@ -68,6 +79,83 @@ LocalRegion::~LocalRegion() {
   to_workers_.clear();
 }
 
+DurationNs LocalRegion::jitter(DurationNs limit) {
+  // xorshift64*: plenty for de-synchronizing retry storms, and seeded
+  // deterministically so runs stay reproducible.
+  jitter_state_ ^= jitter_state_ >> 12;
+  jitter_state_ ^= jitter_state_ << 25;
+  jitter_state_ ^= jitter_state_ >> 27;
+  if (limit <= 0) return 0;
+  return static_cast<DurationNs>(
+      (jitter_state_ * 0x2545F4914F6CDD1Dull >> 33) %
+      static_cast<std::uint64_t>(limit));
+}
+
+void LocalRegion::quarantine(int j, TimeNs now, LocalRunStats& stats) {
+  const auto ju = static_cast<std::size_t>(j);
+  if (chan_down_[ju]) return;
+  chan_down_[ju] = 1;
+  // A half-written frame died with the worker; its sequence becomes a
+  // merger gap, so the remainder must not be replayed anywhere.
+  pending_[ju].clear();
+  ++stats.channel_failures;
+  backoff_[ju] = config_.reconnect_backoff_initial;
+  next_reconnect_[ju] = now + backoff_[ju] + jitter(backoff_[ju] / 2 + 1);
+  policy_->on_channel_down(j);
+}
+
+bool LocalRegion::try_reconnect(int j, TimeNs now, LocalRunStats& stats) {
+  const auto ju = static_cast<std::size_t>(j);
+  if (!worker_up_[ju]) {
+    // The worker process is still gone: treat as a failed dial and back
+    // off exponentially (with jitter, so several quarantined connections
+    // do not retry in lockstep).
+    backoff_[ju] =
+        std::min(backoff_[ju] * 2, config_.reconnect_backoff_max);
+    next_reconnect_[ju] = now + backoff_[ju] + jitter(backoff_[ju] / 2 + 1);
+    return false;
+  }
+  try {
+    // Rebuild the splitter->worker connection and spawn the stateless
+    // replacement PE, exactly like bring-up.
+    net::Listener listener;
+    net::Fd splitter_side = net::connect_loopback(listener.port(), 1000);
+    net::Fd worker_side = listener.accept_one(1000);
+    net::set_nodelay(splitter_side.get());
+    net::set_send_buffer(splitter_side.get(), config_.socket_buffer_bytes);
+    net::set_recv_buffer(worker_side.get(), config_.socket_buffer_bytes);
+
+    // Re-admit the worker's merger stream: dial the merger's reconnect
+    // port and announce the slot with a hello frame before any data
+    // flows.
+    net::Fd to_merger =
+        net::connect_loopback(merger_->reconnect_port(), 1000);
+    net::set_nodelay(to_merger.get());
+    const std::vector<std::uint8_t> hello =
+        net::hello_bytes(static_cast<std::uint32_t>(j));
+    net::write_all(to_merger.get(), hello.data(), hello.size());
+
+    workers_[ju] = std::make_unique<WorkerPe>(
+        j, std::move(worker_side), std::move(to_merger),
+        config_.multiplies, config_.work_mode);
+    workers_[ju]->set_load_multiplier(load_mult_[ju]);
+    senders_[ju]->rebind(splitter_side.get());
+    to_workers_[ju] = std::move(splitter_side);
+  } catch (const std::exception&) {
+    backoff_[ju] =
+        std::min(std::max(backoff_[ju] * 2,
+                          config_.reconnect_backoff_initial),
+                 config_.reconnect_backoff_max);
+    next_reconnect_[ju] = now + backoff_[ju] + jitter(backoff_[ju] / 2 + 1);
+    return false;
+  }
+  chan_down_[ju] = 0;
+  backoff_[ju] = 0;
+  ++stats.reconnects;
+  policy_->on_channel_up(j);
+  return true;
+}
+
 LocalRunStats LocalRegion::run(DurationNs duration) {
   if (ran_) throw std::logic_error("LocalRegion::run is one-shot");
   ran_ = true;
@@ -76,6 +164,12 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
   std::sort(events.begin(), events.end(),
             [](const LoadEvent& a, const LoadEvent& b) { return a.at < b.at; });
   std::size_t next_event = 0;
+  std::vector<FailureEvent> failures = config_.failure_events;
+  std::sort(failures.begin(), failures.end(),
+            [](const FailureEvent& a, const FailureEvent& b) {
+              return a.at < b.at;
+            });
+  std::size_t next_failure = 0;
 
   const TimeNs start = monotonic_now();
   TimeNs next_sample = start + config_.sample_period;
@@ -95,9 +189,31 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
     if (now - start >= duration) break;
     while (next_event < events.size() &&
            now - start >= events[next_event].at) {
-      workers_[static_cast<std::size_t>(events[next_event].worker)]
-          ->set_load_multiplier(events[next_event].multiplier);
+      const auto w =
+          static_cast<std::size_t>(events[next_event].worker);
+      load_mult_[w] = events[next_event].multiplier;
+      workers_[w]->set_load_multiplier(events[next_event].multiplier);
       ++next_event;
+    }
+    while (next_failure < failures.size() &&
+           now - start >= failures[next_failure].at) {
+      const FailureEvent& f = failures[next_failure];
+      const auto w = static_cast<std::size_t>(f.worker);
+      if (f.restart) {
+        worker_up_[w] = 1;  // the next reconnect attempt will succeed
+      } else {
+        worker_up_[w] = 0;
+        workers_[w]->kill();
+        // The splitter discovers the death on its next send to w — the
+        // kill itself is invisible, exactly like a remote PE crash.
+      }
+      ++next_failure;
+    }
+    for (int j = 0; j < n; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      if (chan_down_[ju] && now >= next_reconnect_[ju]) {
+        try_reconnect(j, now, stats);
+      }
     }
     if (now >= next_sample) {
       const std::vector<DurationNs> cumulative = counters_.sample();
@@ -128,7 +244,28 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
     wire.clear();
     net::encode_frame(frame, wire);
 
-    const int j = policy_->pick_connection();
+    int j = policy_->pick_connection();
+    if (chan_down_[static_cast<std::size_t>(j)]) {
+      // Quarantined connection: fail over to the next live one. The
+      // policy's weight for j is already zero, but smooth-WRR state can
+      // still name it briefly.
+      int live = -1;
+      for (int step = 1; step < n; ++step) {
+        const int k = (j + step) % n;
+        if (!chan_down_[static_cast<std::size_t>(k)]) {
+          live = k;
+          break;
+        }
+      }
+      if (live < 0) {
+        // Total outage: idle until a reconnect lands.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      ++stats.failovers;
+      j = live;
+    }
+
     if (policy_->reroute_on_block()) {
       // Section 4.4 baseline: divert whole frames to any connection whose
       // kernel buffer accepts them without blocking. A partially-accepted
@@ -137,14 +274,23 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
       // (mirroring a transport layer's output queue) and are flushed
       // opportunistically; a connection with pending bytes is skipped by
       // the re-route scan.
-      for (int k = 0; k < n; ++k) flush_pending(k, /*blocking=*/false);
+      for (int k = 0; k < n; ++k) {
+        if (!chan_down_[static_cast<std::size_t>(k)]) {
+          flush_pending(k, /*blocking=*/false);
+        }
+      }
       int target = -1;
       for (int step = 0; step < n; ++step) {
         const int k = (j + step) % n;
         const auto ku = static_cast<std::size_t>(k);
+        if (chan_down_[ku]) continue;
         if (!pending_[ku].empty()) continue;
         const std::size_t accepted =
             senders_[ku]->try_send(wire.data(), wire.size());
+        if (senders_[ku]->broken()) {
+          quarantine(k, now, stats);
+          continue;
+        }
         if (accepted == wire.size()) {
           target = k;
           break;
@@ -158,36 +304,63 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
         }
       }
       if (target < 0) {
+        if (chan_down_[static_cast<std::size_t>(j)]) continue;  // re-pick
         // Everything is full: elect to block on the picked connection,
         // exactly like the paper's splitter.
         flush_pending(j, /*blocking=*/true);
-        senders_[static_cast<std::size_t>(j)]->send_all(wire.data(),
-                                                        wire.size());
+        if (!senders_[static_cast<std::size_t>(j)]->send_all(
+                wire.data(), wire.size())) {
+          quarantine(j, now, stats);
+          continue;  // the frame is re-sent (same seq) next iteration
+        }
         target = j;
       }
       if (target != j) ++stats.rerouted;
     } else {
-      senders_[static_cast<std::size_t>(j)]->send_all(wire.data(),
-                                                      wire.size());
+      bool delivered = false;
+      for (int step = 0; step < n && !delivered; ++step) {
+        const int k = (j + step) % n;
+        const auto ku = static_cast<std::size_t>(k);
+        if (chan_down_[ku]) continue;
+        if (senders_[ku]->send_all(wire.data(), wire.size())) {
+          delivered = true;
+          if (k != j) ++stats.failovers;
+        } else {
+          // Peer vanished mid-send: the dead worker never decoded the
+          // partial frame, so the *whole* frame fails over to the next
+          // survivor with its sequence number intact.
+          quarantine(k, now, stats);
+        }
+      }
+      if (!delivered) continue;  // everyone is down; retry after events
     }
     ++stats.sent;
   }
 
   // Shutdown: switch workers to fast-drain (forward buffered tuples
   // without paying their processing cost), flush any re-routing
-  // remainders, FIN every worker, then wait for the merger to drain.
+  // remainders, FIN every live worker, then wait for the merger to
+  // drain. begin_shutdown tells the merger that crashed slots will never
+  // reconnect, so it must not wait for them.
   for (auto& w : workers_) w->fast_drain();
   const std::vector<std::uint8_t> fin = net::fin_bytes();
   for (int j = 0; j < n; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    if (chan_down_[ju]) continue;
     flush_pending(j, /*blocking=*/true);
-    senders_[static_cast<std::size_t>(j)]->send_all(fin.data(), fin.size());
+    if (!senders_[ju]->send_all(fin.data(), fin.size())) {
+      quarantine(j, monotonic_now(), stats);
+    }
   }
   for (auto& w : workers_) w->join();
+  merger_->begin_shutdown();
   merger_->join();
 
   stats.elapsed = monotonic_now() - start;
   stats.emitted = merger_->emitted();
-  stats.order_ok = merger_->order_ok() && stats.emitted == stats.sent;
+  stats.gaps = merger_->gaps();
+  stats.order_ok =
+      merger_->order_ok() && stats.emitted + stats.gaps == stats.sent;
   stats.blocked = counters_.sample();
   stats.final_weights = policy_->weights();
   return stats;

@@ -31,6 +31,17 @@ struct LoadEvent {
   double multiplier = 1.0;
 };
 
+/// One scheduled worker failure, relative to run() start. `restart =
+/// false` kills the worker PE abruptly (sockets reset, buffered tuples
+/// lost); `restart = true` makes a fresh, stateless replacement available
+/// — the splitter's next reconnect attempt then succeeds and re-admits
+/// the connection through the policy's probing path.
+struct FailureEvent {
+  DurationNs at = 0;
+  int worker = 0;
+  bool restart = false;
+};
+
 struct LocalRegionConfig {
   int workers = 2;
   /// Dependent integer multiplies per tuple (the paper's base cost).
@@ -48,6 +59,16 @@ struct LocalRegionConfig {
   DurationNs sample_period = millis(100);
   /// External-load schedule applied during run().
   std::vector<LoadEvent> load_events;
+  /// Failure schedule applied during run(). Non-empty schedules enable
+  /// the fault-tolerant merger (reconnect port + gap skipping).
+  std::vector<FailureEvent> failure_events;
+  /// Reconnect backoff for quarantined connections: doubles from initial
+  /// to max, with deterministic jitter.
+  DurationNs reconnect_backoff_initial = millis(10);
+  DurationNs reconnect_backoff_max = millis(320);
+  /// How long the merger waits on a missing sequence before declaring it
+  /// dead (see MergerFaultConfig::gap_timeout).
+  DurationNs merger_gap_timeout = millis(500);
 };
 
 /// Result of one run.
@@ -56,7 +77,18 @@ struct LocalRunStats {
   std::uint64_t emitted = 0;
   std::uint64_t rerouted = 0;
   DurationNs elapsed = 0;
+  /// Emission stayed in sequence order and accounted for every sent
+  /// tuple: emitted + gaps == sent. Without failures gaps is zero and
+  /// this is the strict equality it always was.
   bool order_ok = false;
+  /// Sequence numbers lost to worker crashes and skipped by the merger.
+  std::uint64_t gaps = 0;
+  /// Connections the splitter quarantined after a broken send.
+  std::uint64_t channel_failures = 0;
+  /// Quarantined connections successfully rebuilt (worker restarted).
+  std::uint64_t reconnects = 0;
+  /// Tuples diverted because their picked connection was quarantined.
+  std::uint64_t failovers = 0;
   /// Cumulative blocked ns per connection at the end of the run.
   std::vector<DurationNs> blocked;
   /// Final allocation weights.
@@ -99,6 +131,21 @@ class LocalRegion {
   /// finishes the whole remainder (blocked time is recorded as usual).
   void flush_pending(int k, bool blocking);
 
+  /// Quarantines connection j after a broken send: clears its remainder
+  /// (the half-written frame died with the worker), zeroes its weight via
+  /// the policy hook, and arms the reconnect backoff.
+  void quarantine(int j, TimeNs now, LocalRunStats& stats);
+
+  /// One reconnect attempt for quarantined connection j. Succeeds only
+  /// when a restarted worker process is available (worker_up_[j]);
+  /// otherwise doubles the backoff. On success rebuilds the splitter
+  /// connection, spawns the replacement PE, re-admits the merger stream
+  /// via a hello frame, and tells the policy to start probing j again.
+  bool try_reconnect(int j, TimeNs now, LocalRunStats& stats);
+
+  /// Deterministic jitter in [0, limit) for reconnect backoff.
+  DurationNs jitter(DurationNs limit);
+
   LocalRegionConfig config_;
   std::unique_ptr<SplitPolicy> policy_;
   BlockingCounterSet counters_;
@@ -109,6 +156,15 @@ class LocalRegion {
   std::vector<std::unique_ptr<WorkerPe>> workers_;
   std::unique_ptr<MergerPe> merger_;
   std::function<void(const LocalSample&)> sample_hook_;
+
+  // Failure handling (all touched only from the splitter thread).
+  std::vector<char> chan_down_;
+  std::vector<char> worker_up_;
+  std::vector<TimeNs> next_reconnect_;
+  std::vector<DurationNs> backoff_;
+  std::vector<double> load_mult_;
+  std::uint64_t jitter_state_ = 0x9E3779B97F4A7C15ull;
+
   bool ran_ = false;
 };
 

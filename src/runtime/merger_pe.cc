@@ -3,15 +3,19 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <deque>
+#include <limits>
 
 #include "transport/framing.h"
 #include "util/log.h"
+#include "util/time.h"
 
 namespace slb::rt {
 
-MergerPe::MergerPe(std::vector<net::Fd> from_workers)
-    : from_workers_(std::move(from_workers)) {
+MergerPe::MergerPe(std::vector<net::Fd> from_workers, MergerFaultConfig fault)
+    : from_workers_(std::move(from_workers)), fault_(fault) {
+  if (fault_.enabled) listener_ = std::make_unique<net::Listener>();
   thread_ = std::thread([this] { run(); });
 }
 
@@ -26,87 +30,220 @@ void MergerPe::join() {
 void MergerPe::run() {
   try {
     const std::size_t n = from_workers_.size();
+    const bool ft = listener_ != nullptr;
     std::vector<net::FrameDecoder> decoders(n);
     std::vector<std::deque<std::uint64_t>> queues(n);
-    std::vector<bool> finished(n, false);
+    std::vector<bool> finished(n, false);  // clean FIN received
     std::vector<std::uint8_t> buf(64 * 1024);
     std::uint64_t expected = 0;
-    std::size_t open = n;
+    std::size_t open = n;  // plain mode: slots not yet at EOF/FIN
+    std::size_t fins = 0;  // fault mode: slots that FINed
 
-    std::vector<pollfd> pfds(n);
-    for (std::size_t j = 0; j < n; ++j) {
-      pfds[j].fd = from_workers_[j].get();
-      pfds[j].events = POLLIN;
-    }
+    // Reconnect connections accepted but not yet claimed by a hello.
+    struct Pending {
+      net::Fd fd;
+      net::FrameDecoder decoder;
+    };
+    std::vector<Pending> pending;
 
+    TimeNs last_progress = monotonic_now();
     net::Frame frame;
-    while (open > 0) {
-      const int rc = ::poll(pfds.data(), pfds.size(), 1000);
-      if (rc < 0) {
-        if (errno == EINTR) continue;
-        break;
-      }
-      for (std::size_t j = 0; j < n; ++j) {
-        if (finished[j] || !(pfds[j].revents & (POLLIN | POLLHUP))) continue;
-        const ssize_t got =
-            ::read(from_workers_[j].get(), buf.data(), buf.size());
-        if (got <= 0) {
-          finished[j] = true;
-          pfds[j].fd = -1;
-          --open;
-          continue;
-        }
-        decoders[j].feed(buf.data(), static_cast<std::size_t>(got));
-        while (decoders[j].next(frame)) {
-          if (frame.is_fin()) {
-            finished[j] = true;
-            pfds[j].fd = -1;
-            --open;
-            break;
-          }
-          queues[j].push_back(frame.seq);
-          max_depth_.store(
-              std::max(max_depth_.load(std::memory_order_relaxed),
-                       queues[j].size()),
-              std::memory_order_relaxed);
-        }
-      }
 
-      // Release in global sequence order: the expected tuple can only be
-      // at the head of one of the per-connection FIFOs.
+    // Release in global sequence order: the expected tuple can only be
+    // at the head of one of the per-connection FIFOs. A head *below*
+    // expected means a sequence we declared dead arrived after all — an
+    // order violation (the gap skip fired too early).
+    const auto release = [&] {
       bool progressed = true;
       while (progressed) {
         progressed = false;
         for (std::size_t j = 0; j < n; ++j) {
+          while (!queues[j].empty() && queues[j].front() < expected) {
+            order_ok_.store(false, std::memory_order_relaxed);
+            queues[j].pop_front();
+          }
           while (!queues[j].empty() && queues[j].front() == expected) {
-            if (queues[j].front() < expected) {
-              order_ok_.store(false, std::memory_order_relaxed);
-            }
             queues[j].pop_front();
             ++expected;
             emitted_.fetch_add(1, std::memory_order_relaxed);
             progressed = true;
           }
         }
+        if (progressed) last_progress = monotonic_now();
       }
-    }
+    };
 
-    // Flush anything still queued (all inputs closed; remaining tuples
-    // must already be in order across queues).
-    bool progressed = true;
-    while (progressed) {
-      progressed = false;
+    // Decodes whatever already sits in slot j's decoder; a FIN closes
+    // the slot for good (frames after a FIN are dropped).
+    const auto drain_decoder = [&](std::size_t j) {
+      while (decoders[j].next(frame)) {
+        if (frame.is_fin()) {
+          finished[j] = true;
+          ++fins;
+          --open;
+          from_workers_[j].reset();
+          return;
+        }
+        queues[j].push_back(frame.seq);
+        max_depth_.store(
+            std::max(max_depth_.load(std::memory_order_relaxed),
+                     queues[j].size()),
+            std::memory_order_relaxed);
+      }
+    };
+
+    std::vector<pollfd> pfds;
+    std::vector<long> tags;  // >= 0: worker slot; -1: listener; else pending
+    while (ft ? fins < n : open > 0) {
+      if (ft && closing_.load(std::memory_order_acquire)) {
+        // Region shutdown: disconnected slots will not reconnect anymore;
+        // their streams are complete as far as they will ever be.
+        for (std::size_t j = 0; j < n; ++j) {
+          if (!finished[j] && !from_workers_[j].valid()) {
+            finished[j] = true;
+            ++fins;
+          }
+        }
+        if (fins >= n) break;
+      }
+      pfds.clear();
+      tags.clear();
       for (std::size_t j = 0; j < n; ++j) {
-        if (!queues[j].empty() && queues[j].front() == expected) {
-          queues[j].pop_front();
-          ++expected;
-          emitted_.fetch_add(1, std::memory_order_relaxed);
-          progressed = true;
+        if (finished[j] || !from_workers_[j].valid()) continue;
+        pfds.push_back(pollfd{from_workers_[j].get(), POLLIN, 0});
+        tags.push_back(static_cast<long>(j));
+      }
+      if (ft) {
+        pfds.push_back(pollfd{listener_->fd(), POLLIN, 0});
+        tags.push_back(-1);
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+          pfds.push_back(pollfd{pending[i].fd.get(), POLLIN, 0});
+          tags.push_back(-2 - static_cast<long>(i));
+        }
+      }
+      const int rc = ::poll(pfds.data(), pfds.size(), ft ? 100 : 1000);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      std::vector<Pending> arrived;
+      for (std::size_t i = 0; i < pfds.size(); ++i) {
+        if (!(pfds[i].revents & (POLLIN | POLLHUP))) continue;
+        const long tag = tags[i];
+        if (tag == -1) {
+          // A restarted worker (or the region, closing a dead worker's
+          // stream) dialed in; its first frame must be a hello.
+          Pending p;
+          p.fd = listener_->accept_one(0);
+          arrived.push_back(std::move(p));
+          continue;
+        }
+        if (tag < -1) {
+          Pending& p = pending[static_cast<std::size_t>(-2 - tag)];
+          const ssize_t got = ::read(p.fd.get(), buf.data(), buf.size());
+          if (got <= 0) {
+            p.fd.reset();  // swept below
+            continue;
+          }
+          p.decoder.feed(buf.data(), static_cast<std::size_t>(got));
+          continue;
+        }
+        const auto j = static_cast<std::size_t>(tag);
+        const ssize_t got =
+            ::read(from_workers_[j].get(), buf.data(), buf.size());
+        if (got <= 0) {
+          // EOF without FIN. Plain mode: the run is over for this slot.
+          // Fault mode: a crash — the slot stays logically open and may
+          // be re-admitted through the reconnect port.
+          from_workers_[j].reset();
+          if (!ft) {
+            finished[j] = true;
+            --open;
+          }
+          continue;
+        }
+        decoders[j].feed(buf.data(), static_cast<std::size_t>(got));
+        drain_decoder(j);
+      }
+
+      // Claim pending connections whose hello has arrived.
+      for (Pending& p : pending) {
+        if (!p.fd.valid()) continue;
+        if (!p.decoder.next(frame)) continue;
+        if (!frame.is_hello()) {
+          SLB_ERROR() << "merger: reconnect without hello, dropping";
+          p.fd.reset();
+          continue;
+        }
+        const auto w = static_cast<std::size_t>(frame.hello_worker());
+        if (w >= n || finished[w]) {
+          SLB_ERROR() << "merger: hello for invalid slot " << w;
+          p.fd.reset();
+          continue;
+        }
+        from_workers_[w] = std::move(p.fd);
+        decoders[w] = std::move(p.decoder);
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
+        drain_decoder(w);  // the hello may have trailed data (or a FIN)
+      }
+      pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                   [](const Pending& p) {
+                                     return !p.fd.valid();
+                                   }),
+                    pending.end());
+      for (Pending& p : arrived) pending.push_back(std::move(p));
+
+      release();
+
+      if (ft) {
+        // Gap detection: tuples are queued past the expected sequence and
+        // nothing has been released for a whole timeout — the sequences
+        // we are gating on died with a worker. Skip to the next queued
+        // sequence; every skipped number is a gap.
+        bool any_queued = false;
+        std::uint64_t min_head = std::numeric_limits<std::uint64_t>::max();
+        for (std::size_t j = 0; j < n; ++j) {
+          if (queues[j].empty()) continue;
+          any_queued = true;
+          min_head = std::min(min_head, queues[j].front());
+        }
+        if (any_queued &&
+            monotonic_now() - last_progress >= fault_.gap_timeout) {
+          gaps_.fetch_add(min_head - expected, std::memory_order_relaxed);
+          expected = min_head;
+          last_progress = monotonic_now();
+          release();
         }
       }
     }
-    for (std::size_t j = 0; j < n; ++j) {
-      if (!queues[j].empty()) order_ok_.store(false, std::memory_order_relaxed);
+
+    // Flush anything still queued (all inputs done). Plain mode: the
+    // remainder must already be in order across queues, anything else is
+    // an order violation. Fault mode: trailing gaps are skipped like any
+    // other.
+    for (;;) {
+      std::size_t best = n;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (queues[j].empty()) continue;
+        if (best == n || queues[j].front() < queues[best].front()) best = j;
+      }
+      if (best == n) break;
+      const std::uint64_t head = queues[best].front();
+      queues[best].pop_front();
+      if (head < expected) {
+        order_ok_.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      if (head > expected) {
+        if (ft) {
+          gaps_.fetch_add(head - expected, std::memory_order_relaxed);
+        } else {
+          order_ok_.store(false, std::memory_order_relaxed);
+        }
+        expected = head;
+      }
+      ++expected;
+      emitted_.fetch_add(1, std::memory_order_relaxed);
     }
   } catch (const std::exception& e) {
     SLB_ERROR() << "merger died: " << e.what();

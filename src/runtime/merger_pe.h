@@ -5,21 +5,44 @@
 // splitter, not at the merger — Section 4.3), and releases tuples in
 // global sequence order. Only counts and timestamps leave the merger; the
 // benchmark sink is a counter.
+//
+// Fault tolerance (optional, see DESIGN.md "Failure model"): when
+// constructed with MergerFaultConfig.enabled the merger also
+//   * listens on an ephemeral reconnect port — a restarted worker (or the
+//     region closing a dead worker's stream) connects there and announces
+//     itself with a hello frame carrying its worker id;
+//   * treats EOF-without-FIN as a crash, not completion: the slot may be
+//     re-admitted later, and the run only ends once every slot has FINed;
+//   * skips sequence numbers that stop arriving: if tuples are queued but
+//     the expected sequence has not shown up for `gap_timeout`, the tuples
+//     it was waiting on died with a worker — release resumes at the next
+//     queued sequence and every skipped number is counted as a gap.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "transport/socket.h"
+#include "util/time.h"
 
 namespace slb::rt {
+
+struct MergerFaultConfig {
+  bool enabled = false;
+  /// How long the expected sequence may fail to arrive — while later
+  /// tuples sit queued — before it is declared dead and skipped. Must
+  /// comfortably exceed the worst-case reorder wait of a healthy run.
+  DurationNs gap_timeout = millis(500);
+};
 
 class MergerPe {
  public:
   /// Takes ownership of all worker connections; starts immediately.
-  explicit MergerPe(std::vector<net::Fd> from_workers);
+  explicit MergerPe(std::vector<net::Fd> from_workers,
+                    MergerFaultConfig fault = {});
 
   ~MergerPe();
 
@@ -39,19 +62,47 @@ class MergerPe {
   /// True once every worker sent FIN and all queues drained.
   bool done() const { return done_.load(std::memory_order_acquire); }
 
+  /// Fault tolerance only: tells the merger the region is shutting down,
+  /// so crashed slots that never reconnected are final — treat their
+  /// EOF-without-FIN as completion instead of waiting for a re-admission
+  /// that will never come. Call after FINing every live worker.
+  void begin_shutdown() {
+    closing_.store(true, std::memory_order_release);
+  }
+
   /// Blocks until the merger thread exits.
   void join();
 
-  /// Verifies every released tuple was in strict sequence order.
+  /// Verifies every released tuple was in strict sequence order (gaps
+  /// skipped over dead tuples keep the sequence monotone and do not
+  /// violate this).
   bool order_ok() const { return order_ok_.load(std::memory_order_relaxed); }
+
+  /// Sequence numbers skipped because their tuples died with a worker.
+  std::uint64_t gaps() const { return gaps_.load(std::memory_order_relaxed); }
+
+  /// Hello-frame re-admissions accepted on the reconnect port.
+  std::uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+
+  /// Port restarted workers connect to (fault tolerance only, else 0).
+  std::uint16_t reconnect_port() const {
+    return listener_ ? listener_->port() : 0;
+  }
 
  private:
   void run();
 
   std::vector<net::Fd> from_workers_;
+  MergerFaultConfig fault_;
+  std::unique_ptr<net::Listener> listener_;
   std::atomic<std::uint64_t> emitted_{0};
   std::atomic<std::size_t> max_depth_{0};
+  std::atomic<std::uint64_t> gaps_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
   std::atomic<bool> done_{false};
+  std::atomic<bool> closing_{false};
   std::atomic<bool> order_ok_{true};
   std::thread thread_;
 };

@@ -1,6 +1,7 @@
 #include "runtime/worker_pe.h"
 
 #include <errno.h>
+#include <sys/socket.h>
 #include <time.h>
 #include <unistd.h>
 
@@ -31,6 +32,14 @@ WorkerPe::~WorkerPe() {
 
 void WorkerPe::join() {
   if (thread_.joinable()) thread_.join();
+}
+
+void WorkerPe::kill() {
+  killed_.store(true, std::memory_order_relaxed);
+  // shutdown (not close) wakes the thread out of a blocking read/write
+  // while keeping the fds owned until the destructor — no fd reuse races.
+  ::shutdown(from_splitter_.get(), SHUT_RDWR);
+  ::shutdown(to_merger_.get(), SHUT_RDWR);
 }
 
 void WorkerPe::run() {
@@ -85,6 +94,11 @@ void WorkerPe::run() {
       net::encode_frame(frame, out);
       net::write_all(to_merger_.get(), out.data(), out.size());
       processed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } catch (const net::ConnectionLost&) {
+    // Expected after kill(); a spontaneous peer loss is the same story.
+    if (!killed_.load(std::memory_order_relaxed)) {
+      SLB_ERROR() << "worker " << id_ << " lost its merger connection";
     }
   } catch (const std::exception& e) {
     SLB_ERROR() << "worker " << id_ << " died: " << e.what();

@@ -46,6 +46,13 @@ class WorkerPe {
   /// tuple to be processed at full cost. Sequence order is unaffected.
   void fast_drain() { fast_drain_.store(true, std::memory_order_relaxed); }
 
+  /// Fault injection: abrupt crash. Both sockets are shut down, so the
+  /// splitter sees a broken pipe on its next send, the merger sees EOF
+  /// without FIN, and everything buffered in the kernel or in service is
+  /// lost — exactly the failure mode of a killed PE process. The thread
+  /// exits; the object stays joinable.
+  void kill();
+
   std::uint64_t processed() const {
     return processed_.load(std::memory_order_relaxed);
   }
@@ -65,6 +72,7 @@ class WorkerPe {
   WorkMode mode_;
   std::atomic<long> load_times_1000_{1000};
   std::atomic<bool> fast_drain_{false};
+  std::atomic<bool> killed_{false};
   std::atomic<std::uint64_t> processed_{0};
   std::thread thread_;
 };

@@ -1,5 +1,6 @@
 #include "sim/channel.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace slb::sim {
@@ -14,6 +15,7 @@ Channel::Channel(Simulator* sim, int id, Config config)
 }
 
 void Channel::push_send(Tuple t) {
+  assert(up_);  // the splitter quarantines a failed channel before routing
   send_q_.push(t);
   pump();
 }
@@ -24,14 +26,61 @@ Tuple Channel::pop_recv() {
   return t;
 }
 
+void Channel::fail() {
+  if (!up_) return;
+  up_ = false;
+  ++epoch_;  // in-flight deliveries from this life report as lost
+  in_flight_ = 0;
+  while (!send_q_.empty()) {
+    const Tuple t = send_q_.pop();
+    if (on_lost_) on_lost_(t);
+  }
+  while (!recv_q_.empty()) {
+    const Tuple t = recv_q_.pop();
+    if (on_lost_) on_lost_(t);
+  }
+}
+
+void Channel::restore() {
+  if (up_) return;
+  up_ = true;
+  assert(send_q_.empty() && recv_q_.empty());
+  // Nothing buffered, so nothing to pump; the splitter resumes routing
+  // here once the policy re-admits the connection.
+}
+
+void Channel::stall(DurationNs duration) {
+  assert(duration >= 0);
+  stall_until_ = std::max(stall_until_, sim_->now() + duration);
+  if (stalled_) return;  // the pending resume event re-checks the deadline
+  stalled_ = true;
+  sim_->schedule_at(stall_until_, [this] { resume_from_stall(); });
+}
+
+void Channel::resume_from_stall() {
+  if (sim_->now() < stall_until_) {
+    // A later stall extended the pause while we slept.
+    sim_->schedule_at(stall_until_, [this] { resume_from_stall(); });
+    return;
+  }
+  stalled_ = false;
+  pump();
+}
+
 void Channel::pump() {
+  if (!up_ || stalled_) return;
   bool freed_send_space = false;
   while (!send_q_.empty() &&
          recv_q_.size() + in_flight_ < recv_q_.capacity()) {
     const Tuple t = send_q_.pop();
     freed_send_space = true;
     ++in_flight_;
-    sim_->schedule_after(config_.latency, [this, t] {
+    sim_->schedule_after(config_.latency, [this, t, epoch = epoch_] {
+      if (epoch != epoch_) {
+        // The connection died while this tuple was on the wire.
+        if (on_lost_) on_lost_(t);
+        return;
+      }
       assert(in_flight_ > 0);
       --in_flight_;
       recv_q_.push(t);

@@ -12,6 +12,7 @@
 // spends blocked is the paper's load-balancing signal.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "sim/event.h"
@@ -41,7 +42,16 @@ class Channel {
     on_recv_ready_ = std::move(fn);
   }
 
+  /// Invoked once per tuple the connection loses to a failure (fail()
+  /// discards buffered tuples; in-flight tuples are reported when their
+  /// delivery event fires into a dead connection).
+  void set_on_lost(std::function<void(const Tuple&)> fn) {
+    on_lost_ = std::move(fn);
+  }
+
   int id() const { return id_; }
+  bool up() const { return up_; }
+  bool stalled() const { return stalled_; }
   bool send_full() const { return send_q_.full(); }
   bool recv_empty() const { return recv_q_.empty(); }
   std::size_t send_size() const { return send_q_.size(); }
@@ -60,9 +70,22 @@ class Channel {
   /// !recv_empty(). Freeing the receive slot may resume transfers.
   Tuple pop_recv();
 
+  /// Connection death (worker crash): every buffered tuple — send queue,
+  /// in flight, receive queue — is lost and reported via on_lost. The
+  /// channel accepts no traffic until restore().
+  void fail();
+
+  /// Fresh connection to a restarted worker: empty buffers, up again.
+  void restore();
+
+  /// Transient delivery pause for `duration`; nothing is lost. Stalls
+  /// overlap by extending the pause to the latest end time.
+  void stall(DurationNs duration);
+
  private:
   /// Starts every transfer currently permitted by flow control.
   void pump();
+  void resume_from_stall();
 
   Simulator* sim_;
   int id_;
@@ -72,6 +95,13 @@ class Channel {
   std::size_t in_flight_ = 0;
   std::function<void()> on_send_space_;
   std::function<void()> on_recv_ready_;
+  std::function<void(const Tuple&)> on_lost_;
+  bool up_ = true;
+  bool stalled_ = false;
+  TimeNs stall_until_ = 0;
+  /// Bumped by fail(): delivery events from a previous life discard
+  /// their tuple (reported lost) instead of touching the new buffers.
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace slb::sim

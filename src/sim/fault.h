@@ -1,0 +1,38 @@
+// Fault injection for simulated regions.
+//
+// The paper's mechanism assumes every splitter->worker connection stays
+// alive for the whole run; real deployments lose workers. These events
+// let deterministic experiments kill and revive workers (and stall
+// channels) mid-run, exercising the controller's mark_down/mark_up path
+// and the merger's sequence-gap tolerance without any wall-clock
+// dependence: identical seeds + identical fault schedules replay
+// identically.
+#pragma once
+
+#include "util/time.h"
+
+namespace slb::sim {
+
+enum class FaultKind {
+  /// Worker process dies: its in-service tuple, held result, and every
+  /// tuple buffered anywhere inside its channel are lost (they were in
+  /// the dead PE's kernel buffers). The channel goes down with it.
+  kWorkerCrash,
+  /// A restarted worker comes back on a fresh connection with empty
+  /// buffers and no memory of its past.
+  kWorkerRecover,
+  /// Transient network stall: the channel stops delivering for
+  /// `duration` but loses nothing — models a pause, not a death.
+  kChannelStall,
+};
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kWorkerCrash;
+  int worker = 0;
+  /// Absolute virtual time at which the fault fires.
+  TimeNs at = 0;
+  /// kChannelStall only: how long delivery is suspended.
+  DurationNs duration = 0;
+};
+
+}  // namespace slb::sim

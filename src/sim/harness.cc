@@ -207,9 +207,18 @@ std::unique_ptr<SplitPolicy> make_policy(PolicyKind kind,
 
 std::unique_ptr<Region> make_region(PolicyKind kind,
                                     const ExperimentSpec& spec) {
-  return std::make_unique<Region>(build_region_config(spec),
-                                  make_policy(kind, spec),
-                                  build_load_profile(spec), spec.hosts);
+  auto region = std::make_unique<Region>(build_region_config(spec),
+                                         make_policy(kind, spec),
+                                         build_load_profile(spec), spec.hosts);
+  for (const FaultSpec& f : spec.faults) {
+    FaultEvent event;
+    event.kind = f.kind;
+    event.worker = f.worker;
+    event.at = spec.scale.from_paper_seconds(f.at_paper_s);
+    event.duration = spec.scale.from_paper_seconds(f.duration_paper_s);
+    region->inject_fault(event);
+  }
+  return region;
 }
 
 std::uint64_t ideal_work(const ExperimentSpec& spec) {

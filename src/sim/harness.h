@@ -59,6 +59,17 @@ struct LoadClass {
   double until_work_fraction = -1.0;
 };
 
+/// One scheduled fault, in paper time: worker `worker` crashes, recovers,
+/// or has its connection stalled for `duration_paper_s` starting at
+/// `at_paper_s`. Faults are simulator events, so a spec with faults is
+/// exactly as deterministic as one without.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kWorkerCrash;
+  int worker = 0;
+  double at_paper_s = 0.0;
+  double duration_paper_s = 0.0;  // kChannelStall only
+};
+
 enum class PolicyKind {
   kRoundRobin,
   kReroute,     // Section 4.4 transport-level re-routing baseline
@@ -84,6 +95,9 @@ struct ExperimentSpec {
   /// used for every Section 6 experiment). The Section 4.4 re-routing
   /// study uses a bounded merger — see DESIGN.md.
   std::size_t merge_buffer = 0;
+  /// Scheduled failures (see DESIGN.md "Failure model"); applied by
+  /// make_region.
+  std::vector<FaultSpec> faults;
 };
 
 /// Builds the LoadProfile (in virtual time) from the spec's load classes.

@@ -48,6 +48,14 @@ bool Merger::try_push(int j, Tuple t) {
   return true;
 }
 
+void Merger::note_lost(std::uint64_t seq) {
+  if (!ordered_) return;  // no sequence gating to un-stick
+  if (seq < expected_) return;  // already emitted (cannot happen for real
+                                // losses, but keeps the call idempotent)
+  lost_.insert(seq);
+  drain();
+}
+
 void Merger::drain() {
   // Emit while the next-expected tuple sits at the head of some queue.
   // Within one connection tuples arrive in send order, so only queue heads
@@ -58,6 +66,14 @@ void Merger::drain() {
   bool downstream_full = false;
   while (progressed && !downstream_full) {
     progressed = false;
+    // Skip sequences that died with a worker: the region told us they
+    // will never arrive, so gating on them would wedge the output.
+    while (!lost_.empty() && *lost_.begin() == expected_) {
+      lost_.erase(lost_.begin());
+      ++expected_;
+      ++gaps_;
+      progressed = true;
+    }
     for (std::size_t j = 0; j < n; ++j) {
       auto& q = queues_[j];
       if (ordered_) {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <vector>
 
 #include "sim/event.h"
@@ -57,6 +58,15 @@ class Merger : public TupleSink {
   /// queue is full — the worker must hold the tuple and retry when poked.
   bool try_push(int j, Tuple t);
 
+  /// Failure handling: sequence `seq` will never arrive (its tuple died
+  /// with a worker). The merger skips over it instead of gating forever,
+  /// preserving prefix order of the survivors; each skip is counted as a
+  /// gap. Called by the region's fault handlers.
+  void note_lost(std::uint64_t seq);
+
+  /// Sequence numbers skipped because their tuples were lost to failures.
+  std::uint64_t gaps() const { return gaps_; }
+
   std::uint64_t emitted() const { return emitted_; }
   std::uint64_t expected_seq() const { return expected_; }
   std::size_t queue_size(int j) const {
@@ -81,8 +91,10 @@ class Merger : public TupleSink {
   std::function<void(const Tuple&)> on_emit_;
   TupleSink* downstream_ = nullptr;
   std::vector<std::uint64_t> emitted_from_;
+  std::set<std::uint64_t> lost_;
   std::uint64_t expected_ = 0;
   std::uint64_t emitted_ = 0;
+  std::uint64_t gaps_ = 0;
   bool ordered_ = true;
 };
 

@@ -39,6 +39,14 @@ Region::Region(RegionConfig config, std::unique_ptr<SplitPolicy> policy,
     workers_.push_back(std::make_unique<Worker>(sim_, j, config_.base_cost,
                                                 &load_, &hosts_));
     workers_.back()->wire(channels_.back().get(), merger_.get());
+    // Crash losses funnel into the merger so it skips the dead sequences
+    // instead of gating on tuples that will never arrive.
+    const auto lost = [this](const Tuple& t) {
+      ++lost_tuples_;
+      merger_->note_lost(t.seq);
+    };
+    channels_.back()->set_on_lost(lost);
+    workers_.back()->set_on_lost(lost);
     if (shared.hosts != nullptr) {
       workers_.back()->bind_shared_host(
           shared.hosts, shared.host_of[static_cast<std::size_t>(j)]);
@@ -69,6 +77,39 @@ Region::Region(RegionConfig config, std::unique_ptr<SplitPolicy> policy,
       sim_->stop();
     }
   });
+}
+
+void Region::inject_fault(const FaultEvent& fault) {
+  assert(fault.worker >= 0 && fault.worker < config_.workers);
+  sim_->schedule_at(fault.at, [this, fault] {
+    apply_fault_now(fault.kind, fault.worker, fault.duration);
+  });
+}
+
+void Region::apply_fault_now(FaultKind kind, int worker,
+                             DurationNs duration) {
+  const auto j = static_cast<std::size_t>(worker);
+  switch (kind) {
+    case FaultKind::kWorkerCrash:
+      if (workers_[j]->down()) return;
+      // Order matters: quarantine the splitter first so the blocked-on-j
+      // release it may schedule routes around the dead connection.
+      splitter_->set_channel_up(worker, false);
+      workers_[j]->crash();
+      channels_[j]->fail();
+      policy_->on_channel_down(worker);
+      break;
+    case FaultKind::kWorkerRecover:
+      if (!workers_[j]->down()) return;
+      channels_[j]->restore();
+      workers_[j]->recover();
+      splitter_->set_channel_up(worker, true);
+      policy_->on_channel_up(worker);
+      break;
+    case FaultKind::kChannelStall:
+      channels_[j]->stall(duration);
+      break;
+  }
 }
 
 void Region::at_emitted(std::uint64_t threshold, std::function<void()> fn) {

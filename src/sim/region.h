@@ -14,6 +14,7 @@
 #include "core/policies.h"
 #include "sim/channel.h"
 #include "sim/event.h"
+#include "sim/fault.h"
 #include "sim/host.h"
 #include "sim/load_profile.h"
 #include "sim/merger.h"
@@ -117,6 +118,25 @@ class Region {
   /// steps at the current time to impose or lift load mid-run.
   LoadProfile& load() { return load_; }
 
+  /// Schedules a fault against this region's virtual timeline. Crash
+  /// kills worker j and its connection (buffered/in-service tuples are
+  /// lost and skipped by the merger as gaps), quarantines the connection
+  /// at the splitter, and tells the policy to renormalize over the
+  /// survivors. Recover restores all of that; the policy re-admits the
+  /// connection through its normal probing path. Stall pauses delivery
+  /// on j's connection for `duration` without losing anything. Faults
+  /// are ordinary simulator events, so identical schedules replay
+  /// identically. Call before or during a run.
+  void inject_fault(const FaultEvent& fault);
+
+  /// Applies a fault immediately (inject_fault's scheduled body).
+  void apply_fault_now(FaultKind kind, int worker,
+                       DurationNs duration = 0);
+
+  /// Tuples lost to crashes so far (buffered, in flight, or in service
+  /// when their worker died). Each becomes a merger gap.
+  std::uint64_t lost_tuples() const { return lost_tuples_; }
+
   /// Runs for `duration` of virtual time (starts the pipeline on first
   /// use).
   void run_for(DurationNs duration);
@@ -190,6 +210,8 @@ class Region {
 
   std::uint64_t stop_target_ = 0;
   TimeNs target_reached_at_ = -1;
+
+  std::uint64_t lost_tuples_ = 0;
 
   struct EmitTrigger {
     std::uint64_t threshold;

@@ -25,6 +25,7 @@ void Splitter::wire(std::vector<Channel*> channels,
   counters_ = counters;
   sent_.assign(channels_.size(), 0);
   blocks_.assign(channels_.size(), 0);
+  chan_up_.assign(channels_.size(), 1);
   for (std::size_t j = 0; j < channels_.size(); ++j) {
     channels_[j]->set_on_send_space(
         [this, j] { on_send_space(static_cast<int>(j)); });
@@ -57,8 +58,30 @@ void Splitter::next_send() {
     idle_for_input_ = true;  // wait for the upstream stage
     return;
   }
-  const int j = policy_->pick_connection();
+  int j = policy_->pick_connection();
   assert(j >= 0 && j < static_cast<int>(channels_.size()));
+  const int n = static_cast<int>(channels_.size());
+
+  if (!chan_up_[static_cast<std::size_t>(j)]) {
+    // Quarantined connection: fail over to the next live one. The policy
+    // already zeroed its weight, but smooth-WRR state and in-flight
+    // routing decisions can still name it for a short window.
+    int live = -1;
+    for (int step = 1; step < n; ++step) {
+      const int k = (j + step) % n;
+      if (chan_up_[static_cast<std::size_t>(k)]) {
+        live = k;
+        break;
+      }
+    }
+    if (live < 0) {
+      // Total outage: park until a connection returns.
+      idle_no_channel_ = true;
+      return;
+    }
+    ++failovers_;
+    j = live;
+  }
 
   if (!channels_[static_cast<std::size_t>(j)]->send_full()) {
     do_send(j);
@@ -67,9 +90,9 @@ void Splitter::next_send() {
 
   if (policy_->reroute_on_block()) {
     // Section 4.4 baseline: divert to any connection with buffer space.
-    const int n = static_cast<int>(channels_.size());
     for (int step = 1; step < n; ++step) {
       const int k = (j + step) % n;
+      if (!chan_up_[static_cast<std::size_t>(k)]) continue;
       if (!channels_[static_cast<std::size_t>(k)]->send_full()) {
         ++rerouted_;
         do_send(k);
@@ -108,6 +131,27 @@ void Splitter::do_send(int j) {
     next = std::max(next, next_release_);
   }
   sim_->schedule_at(next, [this] { next_send(); });
+}
+
+void Splitter::set_channel_up(int j, bool up) {
+  const auto sj = static_cast<std::size_t>(j);
+  if ((chan_up_[sj] != 0) == up) return;
+  chan_up_[sj] = up ? 1 : 0;
+  if (!up) {
+    if (blocked_on_ == j) {
+      // Blocked on the connection that just died: charge the wait (the
+      // real splitter's timed select returns with an error here) and
+      // move on to a survivor immediately.
+      counters_->at(sj).add(sim_->now() - block_start_);
+      blocked_on_ = -1;
+      sim_->schedule_after(0, [this] { next_send(); });
+    }
+    return;
+  }
+  if (idle_no_channel_) {
+    idle_no_channel_ = false;
+    sim_->schedule_after(0, [this] { next_send(); });
+  }
 }
 
 void Splitter::on_send_space(int j) {

@@ -51,12 +51,24 @@ class Splitter {
   /// Schedules the first send at the current time.
   void start();
 
+  /// Failure handling: marks connection j dead (quarantined) or alive
+  /// again. A quarantined connection is never routed to; a splitter
+  /// blocked on it is released immediately (the wait is charged to j's
+  /// blocking counter, exactly like a normal un-block). If every
+  /// connection is down the splitter idles until one comes back.
+  void set_channel_up(int j, bool up);
+  bool channel_up(int j) const {
+    return chan_up_[static_cast<std::size_t>(j)] != 0;
+  }
+
   std::uint64_t total_sent() const { return total_sent_; }
   std::uint64_t sent(int j) const {
     return sent_[static_cast<std::size_t>(j)];
   }
   /// Tuples diverted by the Section 4.4 re-routing baseline.
   std::uint64_t rerouted() const { return rerouted_; }
+  /// Tuples diverted because their picked connection was quarantined.
+  std::uint64_t failovers() const { return failovers_; }
   /// Number of distinct blocking episodes per connection.
   std::uint64_t blocks(int j) const {
     return blocks_[static_cast<std::size_t>(j)];
@@ -90,12 +102,17 @@ class Splitter {
   std::uint64_t next_seq_ = 0;
   std::uint64_t total_sent_ = 0;
   std::uint64_t rerouted_ = 0;
+  std::uint64_t failovers_ = 0;
   std::vector<std::uint64_t> sent_;
   std::vector<std::uint64_t> blocks_;
+  std::vector<char> chan_up_;
 
   int blocked_on_ = -1;
   TimeNs block_start_ = 0;
   bool idle_for_input_ = false;
+  /// True while every connection is quarantined: the splitter parks and
+  /// resumes from set_channel_up(j, true).
+  bool idle_no_channel_ = false;
 };
 
 }  // namespace slb::sim

@@ -41,6 +41,7 @@ DurationNs Worker::current_service_time() const {
 }
 
 void Worker::poll() {
+  if (down_) return;
   if (holding_) {
     if (!sink_->offer(port_, held_)) return;  // still stalled
     holding_ = false;
@@ -57,8 +58,35 @@ void Worker::poll() {
     }
     const auto service = static_cast<DurationNs>(
         std::llround(static_cast<double>(base_cost_) * factor));
-    sim_->schedule_after(service, [this, t] { finish(t); });
+    sim_->schedule_after(service, [this, t, epoch = epoch_] {
+      if (epoch != epoch_) {
+        // The PE died while this tuple was in service.
+        if (on_lost_) on_lost_(t);
+        return;
+      }
+      finish(t);
+    });
   }
+}
+
+void Worker::crash() {
+  if (down_) return;
+  down_ = true;
+  ++epoch_;
+  if (busy_ && shared_hosts_ != nullptr) {
+    shared_hosts_->end_service(shared_host_);  // release the host slot
+  }
+  busy_ = false;
+  if (holding_) {
+    holding_ = false;
+    if (on_lost_) on_lost_(held_);
+  }
+}
+
+void Worker::recover() {
+  if (!down_) return;
+  down_ = false;
+  poll();
 }
 
 void Worker::finish(Tuple t) {

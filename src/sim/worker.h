@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "sim/channel.h"
 #include "sim/event.h"
@@ -43,9 +44,24 @@ class Worker {
   /// next tuple. Safe to call at any point inside an event.
   void poll();
 
+  /// Fault injection: the PE dies. Its in-service tuple and any held
+  /// result are lost (reported via set_on_lost); a shared host slot is
+  /// released. The worker ignores input until recover().
+  void crash();
+
+  /// A replacement PE comes up, stateless as the paper requires — it
+  /// simply starts pulling from its (restored) channel again.
+  void recover();
+
+  /// Invoked once per tuple this worker loses to a crash.
+  void set_on_lost(std::function<void(const Tuple&)> fn) {
+    on_lost_ = std::move(fn);
+  }
+
   int id() const { return id_; }
   bool busy() const { return busy_; }
   bool stalled() const { return holding_; }
+  bool down() const { return down_; }
   std::uint64_t processed() const { return processed_; }
 
   /// The effective per-tuple service time if a tuple started now.
@@ -66,8 +82,13 @@ class Worker {
   int shared_host_ = -1;
   bool busy_ = false;
   bool holding_ = false;
+  bool down_ = false;
   Tuple held_{};
   std::uint64_t processed_ = 0;
+  std::function<void(const Tuple&)> on_lost_;
+  /// Bumped by crash(): a finish event from a previous life reports its
+  /// tuple lost instead of forwarding it.
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace slb::sim

@@ -48,6 +48,19 @@ std::vector<std::uint8_t> fin_bytes() {
   return out;
 }
 
+std::uint32_t Frame::hello_worker() const {
+  return payload.size() >= 4 ? get_u32(payload.data()) : 0;
+}
+
+std::vector<std::uint8_t> hello_bytes(std::uint32_t worker_id) {
+  Frame hello;
+  hello.seq = kHelloSeq;
+  put_u32(worker_id, hello.payload);
+  std::vector<std::uint8_t> out;
+  encode_frame(hello, out);
+  return out;
+}
+
 void FrameDecoder::feed(const std::uint8_t* data, std::size_t len) {
   buffer_.insert(buffer_.end(), data, data + len);
 }

@@ -12,6 +12,10 @@
 namespace slb::net {
 
 inline constexpr std::uint64_t kFinSeq = ~std::uint64_t{0};
+/// Reserved sequence announcing a (re)connecting worker to the merger:
+/// payload = [u32 worker_id]. Sent as the first frame on a replacement
+/// worker->merger connection so the merger can re-admit the right slot.
+inline constexpr std::uint64_t kHelloSeq = ~std::uint64_t{0} - 1;
 inline constexpr std::size_t kFrameHeaderBytes = 4 + 8;
 
 struct Frame {
@@ -19,6 +23,9 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 
   bool is_fin() const { return seq == kFinSeq && payload.empty(); }
+  bool is_hello() const { return seq == kHelloSeq; }
+  /// Worker id carried by a hello frame (call only when is_hello()).
+  std::uint32_t hello_worker() const;
 };
 
 /// Serializes a frame into `out` (appended).
@@ -26,6 +33,9 @@ void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out);
 
 /// Builds the FIN frame bytes.
 std::vector<std::uint8_t> fin_bytes();
+
+/// Builds the hello frame bytes announcing `worker_id`.
+std::vector<std::uint8_t> hello_bytes(std::uint32_t worker_id);
 
 /// Incremental decoder: feed arbitrary byte chunks, take complete frames.
 class FrameDecoder {

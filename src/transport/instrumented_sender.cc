@@ -16,7 +16,8 @@ InstrumentedSender::InstrumentedSender(int fd, BlockingCounter* counter)
   assert(counter != nullptr);
 }
 
-void InstrumentedSender::send_all(const std::uint8_t* data, std::size_t len) {
+bool InstrumentedSender::send_all(const std::uint8_t* data, std::size_t len) {
+  if (broken_) return false;
   std::size_t sent = 0;
   bool blocked_this_call = false;
   while (sent < len) {
@@ -36,16 +37,32 @@ void InstrumentedSender::send_all(const std::uint8_t* data, std::size_t len) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      broken_ = true;
+      return false;
+    }
     throw std::runtime_error(std::string("send: ") + std::strerror(errno));
   }
+  return true;
 }
 
 std::size_t InstrumentedSender::try_send(const std::uint8_t* data,
                                          std::size_t len) {
+  if (broken_) return 0;
   const ssize_t n = ::send(fd_, data, len, MSG_DONTWAIT | MSG_NOSIGNAL);
   if (n >= 0) return static_cast<std::size_t>(n);
   if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;
+  if (errno == EPIPE || errno == ECONNRESET) {
+    broken_ = true;
+    return 0;
+  }
   throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+}
+
+void InstrumentedSender::rebind(int fd) {
+  assert(fd >= 0);
+  fd_ = fd;
+  broken_ = false;
 }
 
 DurationNs InstrumentedSender::wait_writable() {

@@ -24,15 +24,28 @@ class InstrumentedSender {
   InstrumentedSender(int fd, BlockingCounter* counter);
 
   /// Sends the full buffer, blocking as needed; blocked time is recorded.
-  void send_all(const std::uint8_t* data, std::size_t len);
+  /// Returns false when the peer vanished mid-send (EPIPE/ECONNRESET):
+  /// the sender is then `broken()` and the caller owns failover (the
+  /// splitter quarantines the channel and re-routes). Genuine local
+  /// errors still throw.
+  bool send_all(const std::uint8_t* data, std::size_t len);
 
   /// Attempts to send without blocking at all. Returns the number of
   /// bytes accepted by the kernel (possibly 0). Used by the Section 4.4
-  /// re-routing baseline, which diverts instead of blocking.
+  /// re-routing baseline, which diverts instead of blocking. A dead peer
+  /// marks the sender `broken()` and returns 0.
   std::size_t try_send(const std::uint8_t* data, std::size_t len);
 
   /// Number of times send_all had to wait at least once.
   std::uint64_t block_events() const { return block_events_; }
+
+  /// True once a send observed that the connection is gone. No further
+  /// bytes are accepted until rebind().
+  bool broken() const { return broken_; }
+
+  /// Points the sender at a freshly connected socket after a reconnect
+  /// (ownership stays with the caller) and clears the broken state.
+  void rebind(int fd);
 
   int fd() const { return fd_; }
 
@@ -43,6 +56,7 @@ class InstrumentedSender {
   int fd_;
   BlockingCounter* counter_;
   std::uint64_t block_events_ = 0;
+  bool broken_ = false;
 };
 
 }  // namespace slb::net

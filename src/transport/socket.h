@@ -9,10 +9,23 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
 namespace slb::net {
+
+/// Thrown when the peer end of a connection is gone (EPIPE / ECONNRESET /
+/// EOF mid-frame). Callers that implement failover catch exactly this —
+/// any other error still surfaces as a plain std::runtime_error.
+struct ConnectionLost : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Process-wide SIGPIPE setup: a dead peer must surface as EPIPE on the
+/// write, never as a process-killing signal. Idempotent; called by the
+/// runtime's region bring-up and safe to call from anywhere.
+void ignore_sigpipe();
 
 /// Owning file descriptor with move-only semantics.
 class Fd {
@@ -49,29 +62,37 @@ class Listener {
   Listener();
 
   std::uint16_t port() const { return port_; }
+  /// The listening socket itself, for callers that poll for arrivals.
+  int fd() const { return fd_.get(); }
 
-  /// Blocks until one connection arrives; returns the connected socket.
-  Fd accept_one();
+  /// Waits until one connection arrives and returns the connected socket.
+  /// `timeout_ms < 0` blocks forever (the historical behavior);
+  /// otherwise a peer that never shows up raises std::runtime_error after
+  /// ~timeout_ms instead of hanging the caller (and CI) indefinitely.
+  Fd accept_one(int timeout_ms = -1);
 
  private:
   Fd fd_;
   std::uint16_t port_ = 0;
 };
 
-/// Connects to 127.0.0.1:port (blocking); throws on failure.
-Fd connect_loopback(std::uint16_t port);
+/// Connects to 127.0.0.1:port; throws on failure. `timeout_ms >= 0` bounds
+/// the wait for connection establishment (non-blocking connect + poll).
+Fd connect_loopback(std::uint16_t port, int timeout_ms = -1);
 
 /// Socket-option helpers (throw on failure).
 void set_nodelay(int fd);
 void set_send_buffer(int fd, int bytes);
 void set_recv_buffer(int fd, int bytes);
 
-/// Reads exactly `len` bytes (blocking); returns false on EOF before any
-/// byte, throws on error mid-stream.
+/// Reads exactly `len` bytes (blocking); returns false on EOF (or a
+/// connection reset) before any byte, throws ConnectionLost on EOF/reset
+/// mid-stream.
 bool read_exact(int fd, void* buf, std::size_t len);
 
 /// Writes exactly `len` bytes with plain blocking sends (used by workers,
-/// where blocking time is not measured).
+/// where blocking time is not measured). Throws ConnectionLost when the
+/// peer is gone (EPIPE/ECONNRESET), std::runtime_error otherwise.
 void write_all(int fd, const void* buf, std::size_t len);
 
 }  // namespace slb::net
