@@ -34,22 +34,39 @@ struct FaultRun {
   std::uint64_t lost = 0;
   std::uint64_t gaps = 0;
   std::uint64_t failovers = 0;
+  bool overload_declared = false;
+  WeightVector mid_crash_weights;  // snapshot halfway through the outage
   WeightVector final_weights;
 };
 
 FaultRun run(PolicyKind kind, double duration_s, double crash_s,
-             double recover_s) {
+             double recover_s, bool safe_mode_fallback = false) {
   ExperimentSpec spec;
   spec.workers = 4;
   spec.base_multiplies = 1000;
   spec.duration_paper_s = duration_s;
+  if (safe_mode_fallback) {
+    // Overload-protected variant (DESIGN.md §7): the closed-loop source
+    // keeps this region saturated, so the detector declares overload and
+    // a crash then snaps the survivors to an even WRR split instead of
+    // re-optimizing against saturated (gradient-free) rate functions.
+    spec.controller.enable_overload_protection = true;
+    spec.controller.safe_mode_on_overload_fault = true;
+  }
   spec.faults.push_back({FaultKind::kWorkerCrash, 1, crash_s, 0.0});
   spec.faults.push_back({FaultKind::kWorkerRecover, 1, recover_s, 0.0});
 
   auto region = make_region(kind, spec);
   FaultRun out;
-  region->set_sample_hook([&out](Region& r) {
+  const std::size_t mid_crash_sample =
+      static_cast<std::size_t>((crash_s + recover_s) / 2.0);
+  region->set_sample_hook([&out, mid_crash_sample](Region& r) {
     out.per_second.push_back(r.emitted_last_period());
+    out.overload_declared =
+        out.overload_declared || r.policy().overload_state().overloaded;
+    if (out.per_second.size() == mid_crash_sample) {
+      out.mid_crash_weights = r.policy().weights();
+    }
   });
   region->run_for(spec.scale.from_paper_seconds(duration_s));
   out.emitted = region->emitted();
@@ -102,17 +119,23 @@ int main() {
   struct Alt {
     const char* name;
     PolicyKind kind;
+    bool safe_mode_fallback;
   };
   const Alt alts[] = {
-      {"LB-adaptive", PolicyKind::kLbAdaptive},
-      {"RR", PolicyKind::kRoundRobin},
+      {"LB-adaptive", PolicyKind::kLbAdaptive, false},
+      {"RR", PolicyKind::kRoundRobin, false},
+      // Crash-during-overload variant: protection declares saturation on
+      // this closed-loop source, so the fault falls back to an even split
+      // over the survivors (weights pinned ~333 each while PE 1 is down).
+      {"LB+safe-mode", PolicyKind::kLbAdaptive, true},
   };
 
   std::printf("  %-12s %12s %8s %8s %10s %24s\n", "policy", "emitted",
               "lost", "gaps", "failovers", "final weights");
   std::vector<FaultRun> runs;
   for (const Alt& alt : alts) {
-    FaultRun r = run(alt.kind, duration_s, crash_s, recover_s);
+    FaultRun r = run(alt.kind, duration_s, crash_s, recover_s,
+                     alt.safe_mode_fallback);
     std::printf("  %-12s %12llu %8llu %8llu %10llu      %4d %4d %4d %4d\n",
                 alt.name,
                 static_cast<unsigned long long>(r.emitted),
@@ -138,6 +161,18 @@ int main() {
     std::printf("    %-12s lost=%llu gaps=%llu\n", alts[i].name,
                 static_cast<unsigned long long>(runs[i].lost),
                 static_cast<unsigned long long>(runs[i].gaps));
+  }
+  std::printf("\n  Crash-during-overload fallback (DESIGN.md §7): mid-"
+              "outage weights\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const WeightVector& w = runs[i].mid_crash_weights;
+    if (w.size() < 4) continue;
+    const bool fell_back =
+        alts[i].safe_mode_fallback && runs[i].overload_declared;
+    std::printf("    %-12s declared=%-3s [%4d %4d %4d %4d]%s\n",
+                alts[i].name, runs[i].overload_declared ? "yes" : "no",
+                w[0], w[1], w[2], w[3],
+                fell_back ? "  <- even split over survivors" : "");
   }
   return 0;
 }

@@ -15,7 +15,16 @@
 // Watch the weight column: full share -> 0 at the kill -> geometric
 // climb after the restart. The merger's output stays in order throughout;
 // tuples that died with the worker are skipped as counted gaps.
+//
+// With `--safe-mode`, overload protection (DESIGN.md §7) is enabled: the
+// closed-loop source keeps the region saturated, so the controller
+// declares overload, and the kill then degrades the survivors to an even
+// 500/500 WRR split (predictable degradation) instead of re-optimizing
+// against saturated rate functions. While overload stays declared the
+// weights are frozen, so the post-restart climb is deferred until the
+// region has slack again.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "runtime/local_region.h"
@@ -23,7 +32,10 @@
 using namespace slb;
 using namespace slb::rt;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool safe_mode =
+      argc > 1 && std::strcmp(argv[1], "--safe-mode") == 0;
+
   LocalRegionConfig cfg;
   cfg.workers = 3;
   cfg.multiplies = 20000;
@@ -34,7 +46,14 @@ int main() {
       {millis(3000), 1, /*restart=*/true},   // replacement PE available
   };
 
-  LocalRegion region(cfg, std::make_unique<LoadBalancingPolicy>(3));
+  ControllerConfig ctrl;
+  if (safe_mode) {
+    ctrl.enable_overload_protection = true;
+    ctrl.safe_mode_on_overload_fault = true;
+    std::printf("overload protection ON: a kill under declared overload "
+                "falls back to an even split over survivors\n");
+  }
+  LocalRegion region(cfg, std::make_unique<LoadBalancingPolicy>(3, ctrl));
 
   std::printf("3 workers; worker 1 dies at t=1.0s, replacement at "
               "t=3.0s\n");

@@ -11,6 +11,7 @@ LoadBalanceController::LoadBalanceController(int connections,
                                              ControllerConfig config)
     : config_(config),
       estimator_(connections, config.ewma_alpha),
+      saturation_(config.saturation),
       weights_(even_weights(connections)),
       down_(static_cast<std::size_t>(connections), 0) {
   assert(connections > 0);
@@ -37,9 +38,29 @@ const WeightVector& LoadBalanceController::update(
   const int n = connections();
   for (int j = 0; j < n; ++j) {
     const auto ju = static_cast<std::size_t>(j);
-    const double raw = estimator_.last_raw_rate(j);
-    status_.raw_rates[ju] = raw;
+    status_.raw_rates[ju] = estimator_.last_raw_rate(j);
     status_.smoothed_rates[ju] = estimator_.rate(j);
+  }
+
+  if (config_.enable_overload_protection) {
+    saturation_.observe(status_.raw_rates, down_);
+    status_.overloaded = saturation_.overloaded();
+    status_.capacity_deficit = saturation_.capacity_deficit();
+    if (saturation_.overloaded()) {
+      // Declared overload: every F_j is pinned at its ceiling, so these
+      // observations carry no gradient — folding them in would flatten
+      // the model, and decay-driven re-exploration would probe channels
+      // that cannot absorb anything (pure loss). Freeze the functions and
+      // hold the last feasible weights; admission control / shedding
+      // (driven by capacity_deficit) is responsible for draining the
+      // region back into the feasible regime.
+      return weights_;
+    }
+  }
+
+  for (int j = 0; j < n; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    const double raw = status_.raw_rates[ju];
     if (down_[ju]) continue;  // no traffic, no information
     if (raw > 0.0) {
       seen_blocking_ = true;
@@ -103,6 +124,22 @@ void LoadBalanceController::mark_down(int j) {
     status_.weights = weights_;
     return;
   }
+  // Safe-mode fallback: a crash during declared overload invalidates the
+  // frozen allocation — it was feasible for a region that just lost a
+  // worker's worth of capacity. Degrade to an even WRR split over the
+  // survivors instead of scaling up stale weights.
+  if (overloaded() && config_.safe_mode_on_overload_fault) {
+    std::vector<double> even(static_cast<std::size_t>(connections()), 0.0);
+    for (int k = 0; k < connections(); ++k) {
+      if (!down_[static_cast<std::size_t>(k)]) {
+        even[static_cast<std::size_t>(k)] = 1.0;
+      }
+    }
+    weights_ = weights_from_shares(even);
+    status_.weights = weights_;
+    return;
+  }
+
   // Redistribute j's weight over the survivors proportionally to their
   // current weights (even split if the survivors were all at zero), so
   // routing continues immediately instead of waiting a sample period.

@@ -18,6 +18,7 @@
 #include "core/rap.h"
 #include "core/rate_estimator.h"
 #include "core/rate_function.h"
+#include "core/saturation.h"
 #include "core/types.h"
 #include "util/time.h"
 
@@ -76,6 +77,23 @@ struct ControllerConfig {
   int clustering_min_connections = 32;
   ClusteringConfig clustering;
 
+  /// Overload protection (DESIGN.md §7). When enabled, a SaturationDetector
+  /// watches the per-period blocking rates; while it declares overload the
+  /// controller freezes exploration decay and weight movement (holding the
+  /// last feasible allocation) and publishes a capacity-deficit estimate
+  /// for source admission control / shedding. Off by default: the paper's
+  /// throughput-bound experiments run saturated on purpose.
+  bool enable_overload_protection = false;
+  SaturationConfig saturation;
+
+  /// Safe-mode fallback: when a connection dies *while the region is
+  /// overloaded*, the frozen weights describe a world that no longer
+  /// exists. Instead of redistributing them proportionally (which bakes
+  /// the stale split in), fall back to an even WRR split over the
+  /// survivors and let re-convergence start from neutral ground. Only
+  /// consulted when overload protection is enabled.
+  bool safe_mode_on_overload_fault = true;
+
   RateFunctionConfig function;
 };
 
@@ -88,6 +106,10 @@ struct ControllerStatus {
   double objective = 0.0;
   bool solver_feasible = true;
   long updates = 0;
+  /// Overload protection (when enabled): current saturation state and the
+  /// published capacity-deficit estimate.
+  bool overloaded = false;
+  double capacity_deficit = 0.0;
 };
 
 class LoadBalanceController {
@@ -132,12 +154,24 @@ class LoadBalanceController {
   /// Number of connections currently marked up.
   int live() const;
 
+  /// Overload protection: true while the saturation detector has the
+  /// region in declared overload mode (always false when
+  /// enable_overload_protection is off).
+  bool overloaded() const {
+    return config_.enable_overload_protection && saturation_.overloaded();
+  }
+  /// Estimated fraction of the offered load exceeding capacity (0 when
+  /// not overloaded). Drives source throttling and shedding.
+  double capacity_deficit() const { return saturation_.capacity_deficit(); }
+  const SaturationDetector& saturation() const { return saturation_; }
+
  private:
   void solve_flat();
   void solve_clustered();
 
   ControllerConfig config_;
   BlockingRateEstimator estimator_;
+  SaturationDetector saturation_;
   std::vector<RateFunction> functions_;
   WeightVector weights_;
   ControllerStatus status_;

@@ -26,17 +26,55 @@ LoadBalancingPolicy::LoadBalancingPolicy(int connections,
 
 void LoadBalancingPolicy::on_sample(
     TimeNs now, std::span<const DurationNs> cumulative_blocked) {
-  wrr_.set_weights(controller_.update(now, cumulative_blocked));
+  // The controller keeps consuming samples even in safe mode — its
+  // saturation detector is what decides when the episode is over — but
+  // its weights only reach the router outside safe mode.
+  const WeightVector& updated = controller_.update(now, cumulative_blocked);
+  if (!safe_mode_) wrr_.set_weights(updated);
 }
 
 void LoadBalancingPolicy::on_channel_down(ConnectionId j) {
   controller_.mark_down(j);
-  wrr_.set_weights(controller_.weights());
+  if (safe_mode_) {
+    pin_even_live();
+  } else {
+    wrr_.set_weights(controller_.weights());
+  }
 }
 
 void LoadBalancingPolicy::on_channel_up(ConnectionId j) {
   controller_.mark_up(j);
+  if (safe_mode_) {
+    pin_even_live();
+  } else {
+    wrr_.set_weights(controller_.weights());
+  }
+}
+
+void LoadBalancingPolicy::enter_safe_mode() {
+  if (safe_mode_) return;
+  safe_mode_ = true;
+  pin_even_live();
+}
+
+void LoadBalancingPolicy::exit_safe_mode() {
+  if (!safe_mode_) return;
+  safe_mode_ = false;
   wrr_.set_weights(controller_.weights());
+}
+
+void LoadBalancingPolicy::pin_even_live() {
+  std::vector<double> shares(
+      static_cast<std::size_t>(controller_.connections()), 0.0);
+  bool any = false;
+  for (int j = 0; j < controller_.connections(); ++j) {
+    if (!controller_.is_down(j)) {
+      shares[static_cast<std::size_t>(j)] = 1.0;
+      any = true;
+    }
+  }
+  if (!any) return;  // all down: routing is moot, keep current weights
+  wrr_.set_weights(weights_from_shares(shares));
 }
 
 OraclePolicy::OraclePolicy(int connections, std::vector<Phase> schedule)

@@ -56,6 +56,27 @@ class SplitPolicy {
   /// be re-admitted (typically via cautious probing).
   virtual void on_channel_up(ConnectionId j) { (void)j; }
 
+  /// Overload protection (DESIGN.md §7): the policy's view of the
+  /// region's saturation state, published for the substrate's admission
+  /// control and shedding. Policies without a detector report "never
+  /// overloaded" and the substrate's protections stay inert.
+  struct OverloadState {
+    bool overloaded = false;
+    /// Estimated fraction of offered load exceeding capacity, in [0, 1].
+    double capacity_deficit = 0.0;
+  };
+  virtual OverloadState overload_state() const { return {}; }
+
+  /// Safe-mode fallback: the substrate's watchdog has decided the policy's
+  /// adaptive machinery is not keeping the region live (e.g. sustained
+  /// blocking through throttle and shed stages) and demands a known-safe
+  /// static split. Policies that adapt should pin an even split over live
+  /// connections until exit_safe_mode(). Default: no-op (static policies
+  /// are already their own safe mode).
+  virtual void enter_safe_mode() {}
+  virtual void exit_safe_mode() {}
+  virtual bool safe_mode() const { return false; }
+
   /// Current allocation weights (diagnostic; sums to kWeightUnits).
   virtual const WeightVector& weights() const = 0;
 
@@ -103,8 +124,14 @@ class LoadBalancingPolicy : public SplitPolicy {
                  std::span<const DurationNs> cumulative_blocked) override;
   void on_channel_down(ConnectionId j) override;
   void on_channel_up(ConnectionId j) override;
+  OverloadState overload_state() const override {
+    return {controller_.overloaded(), controller_.capacity_deficit()};
+  }
+  void enter_safe_mode() override;
+  void exit_safe_mode() override;
+  bool safe_mode() const override { return safe_mode_; }
   const WeightVector& weights() const override {
-    return controller_.weights();
+    return safe_mode_ ? wrr_.weights() : controller_.weights();
   }
   std::string name() const override {
     return controller_.config().decay_factor < 1.0 ? "LB-adaptive"
@@ -114,8 +141,14 @@ class LoadBalancingPolicy : public SplitPolicy {
   const LoadBalanceController& controller() const { return controller_; }
 
  private:
+  /// Even split over live connections, for safe mode.
+  void pin_even_live();
+
   LoadBalanceController controller_;
   SmoothWrr wrr_;
+  /// While set, the WRR runs an even split over live connections and the
+  /// controller's output is ignored (though it keeps learning).
+  bool safe_mode_ = false;
 };
 
 /// Oracle*: applies externally-known ideal weights on a fixed schedule

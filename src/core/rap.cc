@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <queue>
 
@@ -19,10 +20,20 @@ Weight allocated_units(const std::vector<RapVariable>& vars,
   return sum;
 }
 
+/// Evaluation guard: a NaN or Inf from a poisoned rate function must not
+/// reach the solvers' comparisons — NaN keys make std::sort and the heap
+/// ordering undefined behavior, and both solvers' monotonicity-based
+/// searches mis-step on them. Treat any non-finite value as "infinitely
+/// bad but still comparable".
+double safe_eval(const RapProblem& p, int j, Weight w) {
+  const double v = p.eval(j, w);
+  return std::isfinite(v) ? v : std::numeric_limits<double>::max();
+}
+
 double objective_of(const RapProblem& p, const WeightVector& w) {
   double worst = 0.0;
   for (std::size_t j = 0; j < w.size(); ++j) {
-    worst = std::max(worst, p.eval(static_cast<int>(j), w[j]));
+    worst = std::max(worst, safe_eval(p, static_cast<int>(j), w[j]));
   }
   return worst;
 }
@@ -82,7 +93,7 @@ RapSolution solve_fox(const RapProblem& p) {
     const Weight next = sol.weights[ju] + 1;
     if (next <= p.vars[ju].max &&
         sol.allocated + p.vars[ju].multiplicity <= p.total) {
-      heap.push(Entry{p.eval(j, next), next, j});
+      heap.push(Entry{safe_eval(p, j, next), next, j});
     }
   };
 
@@ -140,7 +151,9 @@ RapSolution solve_bisect(const RapProblem& p) {
   std::vector<double> candidates;
   for (int j = 0; j < n; ++j) {
     const RapVariable& v = p.vars[static_cast<std::size_t>(j)];
-    for (Weight w = v.min; w <= v.max; ++w) candidates.push_back(p.eval(j, w));
+    for (Weight w = v.min; w <= v.max; ++w) {
+      candidates.push_back(safe_eval(p, j, w));
+    }
   }
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
@@ -151,12 +164,12 @@ RapSolution solve_bisect(const RapProblem& p) {
   // minimum exceeds lambda.
   auto cap = [&](int j, double lambda) -> Weight {
     const RapVariable& v = p.vars[static_cast<std::size_t>(j)];
-    if (p.eval(j, v.min) > lambda) return v.min - 1;
+    if (safe_eval(p, j, v.min) > lambda) return v.min - 1;
     Weight lo = v.min;
     Weight hi = v.max;
     while (lo < hi) {
       const Weight mid = lo + (hi - lo + 1) / 2;
-      if (p.eval(j, mid) <= lambda) {
+      if (safe_eval(p, j, mid) <= lambda) {
         lo = mid;
       } else {
         hi = mid - 1;
@@ -188,32 +201,45 @@ RapSolution solve_bisect(const RapProblem& p) {
     }
   }
 
-  if (lo == candidates.size()) {
-    // Even the loosest lambda cannot place all traffic: capacity-bound.
-    for (int j = 0; j < n; ++j) {
-      const auto ju = static_cast<std::size_t>(j);
-      while (sol.weights[ju] < p.vars[ju].max &&
-             sol.allocated + p.vars[ju].multiplicity <= p.total) {
-        sol.weights[ju] += 1;
-        sol.allocated += p.vars[ju].multiplicity;
+  // Round-robin fill toward per-variable limits, one unit each per pass.
+  // A front-to-back fill would dump the whole budget on the lowest index
+  // whenever the functions tie (all-zero / all-identical F_j, the common
+  // degenerate case); spreading matches the greedy solver's tie-break and
+  // returns the uniform point.
+  auto fill_round_robin = [&](const std::vector<Weight>& limit) {
+    bool progress = true;
+    while (sol.allocated < p.total && progress) {
+      progress = false;
+      for (int j = 0; j < n && sol.allocated < p.total; ++j) {
+        const auto ju = static_cast<std::size_t>(j);
+        if (sol.weights[ju] < limit[ju] &&
+            sol.allocated + p.vars[ju].multiplicity <= p.total) {
+          sol.weights[ju] += 1;
+          sol.allocated += p.vars[ju].multiplicity;
+          progress = true;
+        }
       }
     }
+  };
+
+  if (lo == candidates.size()) {
+    // Even the loosest lambda cannot place all traffic: capacity-bound.
+    std::vector<Weight> limit(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      limit[static_cast<std::size_t>(j)] = p.vars[static_cast<std::size_t>(j)].max;
+    }
+    fill_round_robin(limit);
     sol.objective = objective_of(p, sol.weights);
     sol.feasible = false;
     return sol;
   }
 
   const double lambda = candidates[lo];
-  // Fill greedily up to each cap until the budget is spent.
-  for (int j = 0; j < n && sol.allocated < p.total; ++j) {
-    const auto ju = static_cast<std::size_t>(j);
-    const Weight limit = cap(j, lambda);
-    while (sol.weights[ju] < limit &&
-           sol.allocated + p.vars[ju].multiplicity <= p.total) {
-      sol.weights[ju] += 1;
-      sol.allocated += p.vars[ju].multiplicity;
-    }
+  std::vector<Weight> limit(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    limit[static_cast<std::size_t>(j)] = cap(j, lambda);
   }
+  fill_round_robin(limit);
   sol.objective = objective_of(p, sol.weights);
   Weight max_units = 0;
   for (const RapVariable& v : p.vars) max_units += v.multiplicity * v.max;
@@ -252,7 +278,7 @@ double bruteforce_objective(const RapProblem& p) {
     for (Weight x = v.min; x <= v.max; ++x) {
       const Weight next = used + v.multiplicity * x;
       if (next > p.total) break;
-      go(j + 1, next, std::max(worst, p.eval(j, x)));
+      go(j + 1, next, std::max(worst, safe_eval(p, j, x)));
     }
   };
   go(0, 0, 0.0);

@@ -24,7 +24,16 @@ void BlockingRateEstimator::ingest(TimeNs now,
     return;
   }
   const DurationNs period = now - last_time_;
-  if (period <= 0) return;  // duplicate or out-of-order sample; ignore
+  if (period < 0) {
+    // Clock went backwards (host suspend, clock step). Re-baseline rather
+    // than ignoring: ignoring would compare every future sample against
+    // the bogus future timestamp and discard them until the clock catches
+    // up — potentially forever.
+    std::copy(cumulative.begin(), cumulative.end(), last_cumulative_.begin());
+    last_time_ = now;
+    return;
+  }
+  if (period == 0) return;  // duplicate sample; ignore
   for (std::size_t j = 0; j < smoothed_.size(); ++j) {
     DurationNs delta = cumulative[j] - last_cumulative_[j];
     // The transport layer periodically resets its counters (Figure 2);

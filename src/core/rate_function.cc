@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "core/monotone_regression.h"
 
@@ -13,8 +14,14 @@ RateFunction::RateFunction(RateFunctionConfig config)
 
 void RateFunction::observe(Weight w, double rate, double sample_weight) {
   assert(w >= 0 && w <= kWeightUnits);
-  assert(rate >= 0.0);
-  if (w == 0 || sample_weight <= 0.0) return;  // origin is pinned at (0,0)
+  // Degenerate measurements (a NaN from a zero-length period upstream, an
+  // Inf from a counter glitch, a negative rate from a torn read) must not
+  // poison the fit: one NaN in raw_ would propagate through the isotonic
+  // regression into every fitted value. Drop them.
+  if (!std::isfinite(rate) || rate < 0.0) return;
+  if (!std::isfinite(sample_weight)) return;
+  if (w <= 0 || w > kWeightUnits) return;  // origin is pinned at (0,0)
+  if (sample_weight <= 0.0) return;
   auto [it, inserted] = raw_.try_emplace(w, RawPoint{rate, sample_weight});
   if (!inserted) {
     RawPoint& p = it->second;

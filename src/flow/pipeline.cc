@@ -1,5 +1,6 @@
 #include "flow/pipeline.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace slb::flow {
@@ -155,6 +156,21 @@ void Pipeline::sample_tick() {
       delivered.push_back(stage->merger->emitted_from(static_cast<int>(j)));
     }
     stage->policy->on_throughput(sim_.now(), delivered);
+  }
+  if (config_.admission_control) {
+    // Throttle the source against the worst declared capacity deficit
+    // across parallel stages; release as soon as none reports overload.
+    double deficit = -1.0;
+    for (auto& stage : stages_) {
+      if (!stage->parallel) continue;
+      const SplitPolicy::OverloadState state = stage->policy->overload_state();
+      if (state.overloaded) deficit = std::max(deficit, state.capacity_deficit);
+    }
+    source_throttle_ =
+        deficit < 0.0
+            ? 1.0
+            : std::clamp(1.0 - deficit, config_.min_throttle, 1.0);
+    source_->set_throttle(source_throttle_);
   }
   sim_.schedule_after(config_.sample_period, [this] { sample_tick(); });
 }

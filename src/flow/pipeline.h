@@ -46,6 +46,11 @@ struct PipelineConfig {
   DurationNs link_latency = micros(2);
   /// Sampling / policy-update period for parallel stages.
   DurationNs sample_period = millis(10);
+  /// End-to-end admission control: while any parallel stage's policy
+  /// reports overload, throttle the source to (1 - max capacity
+  /// deficit), floored at `min_throttle` (DESIGN.md §7).
+  bool admission_control = false;
+  double min_throttle = 0.25;
 };
 
 class Pipeline;
@@ -130,6 +135,9 @@ class Pipeline {
   /// every delivered tuple.
   const RunningStats& latency() const { return latency_; }
 
+  /// Current admission-control factor on the source (1.0 = unthrottled).
+  double source_throttle() const { return source_throttle_; }
+
  private:
   friend class PipelineBuilder;
 
@@ -171,6 +179,7 @@ class Pipeline {
   bool seen_any_ = false;
   bool order_ok_ = true;
   bool started_ = false;
+  double source_throttle_ = 1.0;
 };
 
 }  // namespace slb::flow

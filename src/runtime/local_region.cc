@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 
@@ -182,6 +183,48 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
   std::vector<std::uint8_t> wire;
 
   const int n = config_.workers;
+
+  // Overload-protection state (DESIGN.md §7). Sequence numbers are
+  // issued from next_seq; shed tuples consume them without being sent.
+  std::uint64_t next_seq = 0;
+  TimeNs next_release = start;  // open-loop release clock
+  std::uint64_t shed_high = config_.shed_high_watermark;
+  std::uint64_t shed_low = config_.shed_low_watermark;
+  std::uint64_t prev_shed = 0;
+  double throttle = 1.0;
+  double throttle_debt = 0.0;  // accumulated ns to sleep off
+  int watchdog_stage = 0;
+  int watchdog_streak = 0;
+  int calm_streak = 0;
+  // Shed ranges not yet announced to the merger: [first, count). Flushed
+  // through any live worker connection (workers forward gap frames with
+  // zero work); held and retried while everything is down.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> gap_queue;
+
+  const auto flush_gaps = [&](TimeNs tnow) {
+    while (!gap_queue.empty()) {
+      int live = -1;
+      for (int k = 0; k < n; ++k) {
+        if (!chan_down_[static_cast<std::size_t>(k)]) {
+          live = k;
+          break;
+        }
+      }
+      if (live < 0) return;  // all quarantined; retry after a reconnect
+      const auto ku = static_cast<std::size_t>(live);
+      // A half-flushed re-route remainder owns the stream until it is
+      // complete; finishing it is mandatory before interleaving a frame.
+      flush_pending(live, /*blocking=*/true);
+      if (!pending_[ku].empty()) return;  // flush hit a broken sender
+      const std::vector<std::uint8_t> gap_frame =
+          net::gap_bytes(gap_queue.front().first, gap_queue.front().second);
+      if (senders_[ku]->send_all(gap_frame.data(), gap_frame.size())) {
+        gap_queue.erase(gap_queue.begin());
+      } else {
+        quarantine(live, tnow, stats);
+      }
+    }
+  };
   for (;;) {
     // Time-driven bookkeeping, checked every iteration (a clock read per
     // tuple is ~20 ns, negligible next to a TCP send).
@@ -218,29 +261,103 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
     if (now >= next_sample) {
       const std::vector<DurationNs> cumulative = counters_.sample();
       policy_->on_sample(now - start, cumulative);
+      // A long blocking episode can push us several periods past
+      // next_sample; normalize by the *actual* elapsed span.
+      const DurationNs span = config_.sample_period + (now - next_sample);
+      std::vector<double> block_rates;
+      block_rates.reserve(static_cast<std::size_t>(n));
+      double aggregate = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const auto ju = static_cast<std::size_t>(j);
+        const double rate =
+            static_cast<double>(cumulative[ju] - prev_blocked[ju]) /
+            static_cast<double>(span);
+        block_rates.push_back(rate);
+        aggregate += rate;
+        prev_blocked[ju] = cumulative[ju];
+      }
+
+      const SplitPolicy::OverloadState overload = policy_->overload_state();
+      if (config_.admission_control && config_.source_interval == 0) {
+        throttle = overload.overloaded
+                       ? std::clamp(1.0 - overload.capacity_deficit,
+                                    config_.min_throttle, 1.0)
+                       : 1.0;
+        if (watchdog_stage >= 1) throttle = config_.min_throttle;
+      }
+      if (config_.watchdog) {
+        if (aggregate >= config_.watchdog_block_budget) {
+          calm_streak = 0;
+          if (++watchdog_streak >= config_.watchdog_periods &&
+              watchdog_stage < 3) {
+            watchdog_streak = 0;
+            ++watchdog_stage;
+            if (watchdog_stage == 2 && shed_high > 0) {
+              shed_high = std::max<std::uint64_t>(1, shed_high / 2);
+              shed_low /= 2;
+            } else if (watchdog_stage == 3) {
+              policy_->enter_safe_mode();
+            }
+          }
+        } else {
+          watchdog_streak = 0;
+          if (watchdog_stage > 0 &&
+              ++calm_streak >= config_.watchdog_periods) {
+            calm_streak = 0;
+            watchdog_stage = 0;
+            policy_->exit_safe_mode();
+            shed_high = config_.shed_high_watermark;
+            shed_low = config_.shed_low_watermark;
+            throttle = 1.0;
+          }
+        }
+      }
+
       if (sample_hook_) {
         LocalSample sample;
         sample.elapsed = now - start;
         sample.weights = policy_->weights();
-        sample.block_rates.reserve(static_cast<std::size_t>(n));
-        // A long blocking episode can push us several periods past
-        // next_sample; normalize by the *actual* elapsed span.
-        const DurationNs span =
-            config_.sample_period + (now - next_sample);
-        for (int j = 0; j < n; ++j) {
-          const auto ju = static_cast<std::size_t>(j);
-          sample.block_rates.push_back(
-              static_cast<double>(cumulative[ju] - prev_blocked[ju]) /
-              static_cast<double>(span));
-          prev_blocked[ju] = cumulative[ju];
-        }
+        sample.block_rates = std::move(block_rates);
         sample.emitted = merger_->emitted();
+        sample.shed_in_period = stats.shed - prev_shed;
+        sample.overloaded = overload.overloaded;
+        sample.watchdog_stage = watchdog_stage;
         sample_hook_(sample);
       }
+      prev_shed = stats.shed;
       next_sample = now + config_.sample_period;
     }
 
-    frame.seq = stats.sent;
+    // Announce any shed ranges that could not be delivered earlier.
+    if (!gap_queue.empty()) flush_gaps(now);
+
+    if (config_.source_interval > 0) {
+      // Open loop: shed when the backlog crosses the high watermark...
+      if (shed_high > 0 && now > next_release) {
+        const std::uint64_t backlog = static_cast<std::uint64_t>(
+            (now - next_release) / config_.source_interval);
+        if (backlog >= shed_high) {
+          const std::uint64_t drop = backlog - shed_low;
+          gap_queue.emplace_back(next_seq, drop);
+          next_seq += drop;
+          stats.shed += drop;
+          next_release +=
+              static_cast<DurationNs>(drop) * config_.source_interval;
+          flush_gaps(now);
+        }
+      }
+      // ...and wait for the next release otherwise.
+      if (now < next_release) {
+        const DurationNs wait = next_release - now;
+        if (wait > micros(100)) {
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(wait - micros(50)));
+        }
+        continue;  // re-reads the clock and re-runs event processing
+      }
+    }
+
+    frame.seq = next_seq;
     wire.clear();
     net::encode_frame(frame, wire);
 
@@ -335,6 +452,21 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
       if (!delivered) continue;  // everyone is down; retry after events
     }
     ++stats.sent;
+    ++next_seq;
+    if (config_.source_interval > 0) {
+      next_release += config_.source_interval;
+    } else if (throttle < 1.0) {
+      // Admission control: pay out the complement of the throttle factor
+      // as sleep, batched so sub-100µs debts still take effect.
+      const TimeNs after = monotonic_now();
+      throttle_debt +=
+          (1.0 / throttle - 1.0) * static_cast<double>(after - now);
+      if (throttle_debt >= 100000.0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(
+            static_cast<long long>(throttle_debt)));
+        throttle_debt = 0.0;
+      }
+    }
   }
 
   // Shutdown: switch workers to fast-drain (forward buffered tuples
@@ -343,6 +475,9 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
   // drain. begin_shutdown tells the merger that crashed slots will never
   // reconnect, so it must not wait for them.
   for (auto& w : workers_) w->fast_drain();
+  // Pending shed announcements must reach the merger before the FINs, or
+  // it would gate forever (plain mode) or mis-account trailing sheds.
+  flush_gaps(monotonic_now());
   const std::vector<std::uint8_t> fin = net::fin_bytes();
   for (int j = 0; j < n; ++j) {
     const auto ju = static_cast<std::size_t>(j);
@@ -359,8 +494,8 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
   stats.elapsed = monotonic_now() - start;
   stats.emitted = merger_->emitted();
   stats.gaps = merger_->gaps();
-  stats.order_ok =
-      merger_->order_ok() && stats.emitted + stats.gaps == stats.sent;
+  stats.order_ok = merger_->order_ok() &&
+                   stats.emitted + stats.gaps == stats.sent + stats.shed;
   stats.blocked = counters_.sample();
   stats.final_weights = policy_->weights();
   return stats;

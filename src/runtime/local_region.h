@@ -69,6 +69,36 @@ struct LocalRegionConfig {
   /// How long the merger waits on a missing sequence before declaring it
   /// dead (see MergerFaultConfig::gap_timeout).
   DurationNs merger_gap_timeout = millis(500);
+
+  // --- Overload protection (DESIGN.md §7) ------------------------------
+
+  /// Source pacing: 0 = closed loop (send as fast as the region accepts);
+  /// > 0 = open loop releasing one tuple every `source_interval` ns, with
+  /// arrears bursting out after blocking.
+  DurationNs source_interval = 0;
+
+  /// Closed-loop admission control: while the policy reports overload,
+  /// throttle the source to (1 - capacity_deficit), floored at
+  /// `min_throttle`. No effect on open-loop sources.
+  bool admission_control = false;
+  double min_throttle = 0.25;
+
+  /// Open-loop load shedding watermarks on the source backlog (tuples).
+  /// When the backlog reaches `high`, the oldest tuples are dropped down
+  /// to `low`; each drop consumes a sequence number and is announced to
+  /// the merger with a gap frame so `emitted + gaps == sent + shed`
+  /// stays an invariant. 0 disables shedding.
+  std::uint64_t shed_high_watermark = 0;
+  std::uint64_t shed_low_watermark = 0;
+
+  /// Splitter watchdog: aggregate blocking at or above
+  /// `watchdog_block_budget` for `watchdog_periods` consecutive sample
+  /// periods escalates the protection ladder (forced throttle -> halved
+  /// shed watermarks -> safe-mode WRR); the same number of calm periods
+  /// unwinds it.
+  bool watchdog = false;
+  double watchdog_block_budget = 0.9;
+  int watchdog_periods = 8;
 };
 
 /// Result of one run.
@@ -77,12 +107,16 @@ struct LocalRunStats {
   std::uint64_t emitted = 0;
   std::uint64_t rerouted = 0;
   DurationNs elapsed = 0;
-  /// Emission stayed in sequence order and accounted for every sent
-  /// tuple: emitted + gaps == sent. Without failures gaps is zero and
-  /// this is the strict equality it always was.
+  /// Emission stayed in sequence order and accounted for every issued
+  /// sequence number: emitted + gaps == sent + shed. Without failures or
+  /// shedding this is the strict equality it always was.
   bool order_ok = false;
-  /// Sequence numbers lost to worker crashes and skipped by the merger.
+  /// Sequence numbers lost to worker crashes or shed at the source, all
+  /// skipped by the merger.
   std::uint64_t gaps = 0;
+  /// Tuples shed at the source under overload (each consumed a sequence
+  /// number and was announced to the merger as a gap).
+  std::uint64_t shed = 0;
   /// Connections the splitter quarantined after a broken send.
   std::uint64_t channel_failures = 0;
   /// Quarantined connections successfully rebuilt (worker restarted).
@@ -101,6 +135,12 @@ struct LocalSample {
   WeightVector weights;
   std::vector<double> block_rates;
   std::uint64_t emitted = 0;
+  /// Tuples shed at the source during this period.
+  std::uint64_t shed_in_period = 0;
+  /// Policy's declared overload state at sample time.
+  bool overloaded = false;
+  /// Watchdog escalation stage (0 = normal .. 3 = safe-mode WRR).
+  int watchdog_stage = 0;
 };
 
 class LocalRegion {

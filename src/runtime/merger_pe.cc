@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <map>
 
 #include "transport/framing.h"
 #include "util/log.h"
@@ -49,6 +50,39 @@ void MergerPe::run() {
     TimeNs last_progress = monotonic_now();
     net::Frame frame;
 
+    // Shed ranges announced by gap frames: first seq -> count. These
+    // sequences were dropped at the source and will never arrive; ordered
+    // release must skip them (each one counted as a gap) instead of
+    // gating on them.
+    std::map<std::uint64_t, std::uint64_t> shed;
+    const auto note_shed = [&](std::uint64_t first, std::uint64_t count) {
+      if (count == 0) return;
+      std::uint64_t& existing = shed[first];
+      existing = std::max(existing, count);
+    };
+    // Advances `expected` through any shed ranges it has reached,
+    // counting them as gaps; consumed ranges are erased.
+    const auto skip_shed = [&]() {
+      bool skipped = false;
+      for (;;) {
+        auto it = shed.upper_bound(expected);
+        if (it == shed.begin()) break;
+        --it;
+        const std::uint64_t end = it->first + it->second;
+        if (expected >= end) {
+          // Entirely below expected (already skipped via timeout or the
+          // final flush): stale, drop it and look at the next range down.
+          shed.erase(it);
+          continue;
+        }
+        gaps_.fetch_add(end - expected, std::memory_order_relaxed);
+        expected = end;
+        shed.erase(it);
+        skipped = true;
+      }
+      return skipped;
+    };
+
     // Release in global sequence order: the expected tuple can only be
     // at the head of one of the per-connection FIFOs. A head *below*
     // expected means a sequence we declared dead arrived after all — an
@@ -56,7 +90,7 @@ void MergerPe::run() {
     const auto release = [&] {
       bool progressed = true;
       while (progressed) {
-        progressed = false;
+        progressed = skip_shed();
         for (std::size_t j = 0; j < n; ++j) {
           while (!queues[j].empty() && queues[j].front() < expected) {
             order_ok_.store(false, std::memory_order_relaxed);
@@ -84,11 +118,26 @@ void MergerPe::run() {
           from_workers_[j].reset();
           return;
         }
+        if (frame.is_gap()) {
+          note_shed(frame.gap_first(), frame.gap_count());
+          continue;
+        }
         queues[j].push_back(frame.seq);
         max_depth_.store(
             std::max(max_depth_.load(std::memory_order_relaxed),
                      queues[j].size()),
             std::memory_order_relaxed);
+      }
+      if (decoders[j].corrupt()) {
+        // Garbage on the wire: no way to resynchronize a length-prefixed
+        // stream. Treat as a lost connection (fault mode may re-admit it
+        // through the reconnect port with a fresh decoder).
+        SLB_ERROR() << "merger: corrupt stream from slot " << j;
+        from_workers_[j].reset();
+        if (!ft && !finished[j]) {
+          finished[j] = true;
+          --open;
+        }
       }
     };
 
@@ -218,10 +267,11 @@ void MergerPe::run() {
     }
 
     // Flush anything still queued (all inputs done). Plain mode: the
-    // remainder must already be in order across queues, anything else is
-    // an order violation. Fault mode: trailing gaps are skipped like any
-    // other.
+    // remainder must already be in order across queues — modulo declared
+    // shed ranges — anything else is an order violation. Fault mode:
+    // trailing gaps are skipped like any other.
     for (;;) {
+      skip_shed();
       std::size_t best = n;
       for (std::size_t j = 0; j < n; ++j) {
         if (queues[j].empty()) continue;
@@ -245,6 +295,8 @@ void MergerPe::run() {
       ++expected;
       emitted_.fetch_add(1, std::memory_order_relaxed);
     }
+    // Trailing sheds (the very last sequences of the run were dropped).
+    skip_shed();
   } catch (const std::exception& e) {
     SLB_ERROR() << "merger died: " << e.what();
   }

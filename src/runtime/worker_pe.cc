@@ -52,6 +52,7 @@ void WorkerPe::run() {
 
     for (;;) {
       while (!decoder.next(frame)) {
+        if (decoder.corrupt()) return;  // garbage stream; drop the link
         const ssize_t n =
             ::read(from_splitter_.get(), buf.data(), buf.size());
         if (n <= 0) return;  // splitter hung up
@@ -61,6 +62,14 @@ void WorkerPe::run() {
         const std::vector<std::uint8_t> fin = net::fin_bytes();
         net::write_all(to_merger_.get(), fin.data(), fin.size());
         return;
+      }
+      if (frame.seq == net::kGapSeq) {
+        // Shed announcement from the splitter: forward to the merger with
+        // zero work — it carries accounting, not data.
+        out.clear();
+        net::encode_frame(frame, out);
+        net::write_all(to_merger_.get(), out.data(), out.size());
+        continue;
       }
 
       const long factor =

@@ -1,5 +1,6 @@
 #include "sim/region.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace slb::sim {
@@ -57,6 +58,15 @@ Region::Region(RegionConfig config, std::unique_ptr<SplitPolicy> policy,
                                          config_.send_overhead,
                                          config_.source_interval);
   splitter_->wire(std::move(channel_ptrs), &counters_);
+  if (config_.shed_high_watermark > 0) {
+    splitter_->set_shed_watermarks(config_.shed_high_watermark,
+                                   config_.shed_low_watermark);
+    // Shed tuples consumed sequence numbers they will never deliver;
+    // route them into the merger's gap set so ordered emission is not
+    // gated on them and `emitted + gaps == sent + shed` holds.
+    splitter_->set_on_shed(
+        [this](std::uint64_t seq) { merger_->note_lost(seq); });
+  }
 
   prev_cumulative_.assign(static_cast<std::size_t>(config_.workers), 0);
   last_rates_.assign(static_cast<std::size_t>(config_.workers), 0.0);
@@ -144,9 +154,76 @@ void Region::sample_tick() {
     delivered[static_cast<std::size_t>(j)] = merger_->emitted_from(j);
   }
   policy_->on_throughput(sim_->now(), delivered);
+
+  shed_last_period_ = splitter_->shed() - prev_shed_;
+  prev_shed_ = splitter_->shed();
+  overload_tick();
+
   if (sample_hook_) sample_hook_(*this);
 
   sim_->schedule_after(config_.sample_period, [this] { sample_tick(); });
+}
+
+void Region::overload_tick() {
+  if (config_.admission_control && config_.source_interval == 0) {
+    const auto overload = policy_->overload_state();
+    double factor = 1.0;
+    if (overload.overloaded) {
+      factor = std::clamp(1.0 - overload.capacity_deficit,
+                          config_.min_throttle, 1.0);
+    }
+    if (watchdog_stage_ >= 1) factor = config_.min_throttle;
+    splitter_->set_throttle(factor);
+  }
+
+  if (!config_.watchdog) return;
+  double aggregate = 0.0;
+  for (double r : last_rates_) aggregate += r;
+  if (aggregate >= config_.watchdog_block_budget) {
+    calm_streak_ = 0;
+    if (++watchdog_streak_ >= config_.watchdog_periods) {
+      watchdog_streak_ = 0;
+      watchdog_escalate();
+    }
+  } else {
+    watchdog_streak_ = 0;
+    if (watchdog_stage_ > 0 &&
+        ++calm_streak_ >= config_.watchdog_periods) {
+      calm_streak_ = 0;
+      watchdog_unwind();
+    }
+  }
+}
+
+void Region::watchdog_escalate() {
+  if (watchdog_stage_ >= 3) return;
+  ++watchdog_stage_;
+  switch (watchdog_stage_) {
+    case 1:
+      // Forced throttle: applied by overload_tick() on closed-loop
+      // sources from now on. Nothing to do for open loop.
+      break;
+    case 2:
+      if (config_.shed_high_watermark > 0) {
+        splitter_->set_shed_watermarks(
+            std::max<std::uint64_t>(1, config_.shed_high_watermark / 2),
+            config_.shed_low_watermark / 2);
+      }
+      break;
+    case 3:
+      policy_->enter_safe_mode();
+      break;
+  }
+}
+
+void Region::watchdog_unwind() {
+  policy_->exit_safe_mode();
+  if (config_.shed_high_watermark > 0) {
+    splitter_->set_shed_watermarks(config_.shed_high_watermark,
+                                   config_.shed_low_watermark);
+  }
+  splitter_->set_throttle(1.0);
+  watchdog_stage_ = 0;
 }
 
 void Region::run_for(DurationNs duration) {

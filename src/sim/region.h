@@ -67,6 +67,33 @@ struct RegionConfig {
   /// Blocking-counter sampling / policy-update period (the paper samples
   /// every second of its time scale; the harness scales this down).
   DurationNs sample_period = millis(10);
+
+  // --- Overload protection (DESIGN.md §7) ------------------------------
+
+  /// Closed-loop admission control: while the policy reports overload,
+  /// throttle the source to (1 - capacity_deficit) of full speed,
+  /// floored at `min_throttle`. No effect on open-loop sources (an
+  /// external source cannot be slowed — that is what shedding is for).
+  bool admission_control = false;
+  double min_throttle = 0.25;
+
+  /// Open-loop load shedding: when the source backlog reaches the high
+  /// watermark, drop backlog tuples (reported to the merger as gaps)
+  /// until it is back at the low watermark. 0 disables shedding.
+  std::uint64_t shed_high_watermark = 0;
+  std::uint64_t shed_low_watermark = 0;
+
+  /// Splitter watchdog: if the aggregate blocking rate stays at or above
+  /// `watchdog_block_budget` for `watchdog_periods` consecutive sample
+  /// periods, escalate one rung on the protection ladder —
+  ///   stage 1: clamp the admission throttle to min_throttle,
+  ///   stage 2: halve the shed watermarks,
+  ///   stage 3: drop the policy into safe-mode WRR.
+  /// The same number of consecutive calm periods unwinds the ladder
+  /// completely.
+  bool watchdog = false;
+  double watchdog_block_budget = 0.9;
+  int watchdog_periods = 8;
 };
 
 /// Result of run_until_emitted.
@@ -137,6 +164,17 @@ class Region {
   /// when their worker died). Each becomes a merger gap.
   std::uint64_t lost_tuples() const { return lost_tuples_; }
 
+  /// Tuples shed at the source so far (each one consumed a sequence
+  /// number and became a merger gap, so ordering accounting stays exact).
+  std::uint64_t shed_tuples() const { return splitter_->shed(); }
+
+  /// Tuples shed during the most recent completed sample period.
+  std::uint64_t shed_last_period() const { return shed_last_period_; }
+
+  /// Current watchdog escalation stage (0 = normal, 1 = forced throttle,
+  /// 2 = tightened shedding, 3 = safe-mode WRR).
+  int watchdog_stage() const { return watchdog_stage_; }
+
   /// Runs for `duration` of virtual time (starts the pipeline on first
   /// use).
   void run_for(DurationNs duration);
@@ -183,6 +221,9 @@ class Region {
  private:
   void ensure_started();
   void sample_tick();
+  void overload_tick();
+  void watchdog_escalate();
+  void watchdog_unwind();
 
   RegionConfig config_;
   std::unique_ptr<SplitPolicy> policy_;
@@ -212,6 +253,12 @@ class Region {
   TimeNs target_reached_at_ = -1;
 
   std::uint64_t lost_tuples_ = 0;
+
+  std::uint64_t prev_shed_ = 0;
+  std::uint64_t shed_last_period_ = 0;
+  int watchdog_stage_ = 0;
+  int watchdog_streak_ = 0;
+  int calm_streak_ = 0;
 
   struct EmitTrigger {
     std::uint64_t threshold;

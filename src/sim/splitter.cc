@@ -52,12 +52,41 @@ void Splitter::set_input(Channel* input) {
   });
 }
 
+void Splitter::set_throttle(double factor) {
+  assert(factor > 0.0 && factor <= 1.0);
+  throttle_ = factor;
+}
+
+void Splitter::set_shed_watermarks(std::uint64_t high, std::uint64_t low) {
+  assert(low <= high);
+  shed_high_ = high;
+  shed_low_ = low;
+}
+
+void Splitter::shed_backlog() {
+  if (shed_high_ == 0 || source_interval_ <= 0 || input_ != nullptr) return;
+  std::uint64_t backlog = source_backlog(sim_->now());
+  if (backlog < shed_high_) return;
+  // Drop the oldest backlog tuples — they have already waited longest and
+  // in a streaming region stale data is the least valuable. Each one
+  // consumes the sequence number it would have carried, so the merger's
+  // gap accounting stays exact.
+  while (backlog > shed_low_) {
+    const std::uint64_t seq = next_seq_++;
+    ++shed_;
+    next_release_ += source_interval_;
+    --backlog;
+    if (on_shed_) on_shed_(seq);
+  }
+}
+
 void Splitter::next_send() {
   assert(blocked_on_ < 0);
   if (input_ != nullptr && input_->recv_empty()) {
     idle_for_input_ = true;  // wait for the upstream stage
     return;
   }
+  shed_backlog();
   int j = policy_->pick_connection();
   assert(j >= 0 && j < static_cast<int>(channels_.size()));
   const int n = static_cast<int>(channels_.size());
@@ -123,7 +152,14 @@ void Splitter::do_send(int j) {
   channels_[static_cast<std::size_t>(j)]->push_send(t);
   ++sent_[static_cast<std::size_t>(j)];
   ++total_sent_;
-  TimeNs next = sim_->now() + send_overhead_;
+  DurationNs gap = send_overhead_;
+  if (throttle_ < 1.0) {
+    // Admission control: stretch the per-send overhead so the closed-loop
+    // source offers only `throttle_` of its full rate.
+    gap = static_cast<DurationNs>(static_cast<double>(send_overhead_) /
+                                  throttle_);
+  }
+  TimeNs next = sim_->now() + gap;
   if (source_interval_ > 0) {
     // Open loop: the next tuple is only available at its release time.
     // Arrears accumulated while we were blocked drain at full speed.

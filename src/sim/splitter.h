@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/blocking_counter.h"
@@ -85,16 +86,42 @@ class Splitter {
                                       source_interval_);
   }
 
+  /// Admission control (closed-loop sources): scales the source's tuple
+  /// rate to `factor` (in (0, 1]) of full speed by stretching the per-send
+  /// overhead. 1.0 restores full speed. No effect on open-loop release
+  /// times — an external source cannot be slowed down, only shed.
+  void set_throttle(double factor);
+  double throttle() const { return throttle_; }
+
+  /// Load shedding (open-loop sources): when the source backlog reaches
+  /// `high`, drop backlog tuples (oldest first) until it is back at `low`.
+  /// Every shed tuple still consumes a sequence number and is reported
+  /// through `on_shed`, so the ordered merger can account it as a gap and
+  /// `emitted + gaps == sent + shed` stays an invariant. `high == 0`
+  /// disables shedding.
+  void set_shed_watermarks(std::uint64_t high, std::uint64_t low);
+  void set_on_shed(std::function<void(std::uint64_t seq)> fn) {
+    on_shed_ = std::move(fn);
+  }
+  /// Total tuples shed at the source so far.
+  std::uint64_t shed() const { return shed_; }
+
  private:
   void next_send();
   void do_send(int j);
   void on_send_space(int j);
+  void shed_backlog();
 
   Simulator* sim_;
   SplitPolicy* policy_;
   DurationNs send_overhead_;
   DurationNs source_interval_;
   TimeNs next_release_ = 0;
+  double throttle_ = 1.0;
+  std::uint64_t shed_high_ = 0;
+  std::uint64_t shed_low_ = 0;
+  std::uint64_t shed_ = 0;
+  std::function<void(std::uint64_t)> on_shed_;
   Channel* input_ = nullptr;
   std::vector<Channel*> channels_;
   BlockingCounterSet* counters_ = nullptr;

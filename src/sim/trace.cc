@@ -30,6 +30,8 @@ void TraceRecorder::attach(Region& region) {
       }
     }
     row.emitted_in_period = r.emitted_last_period();
+    row.shed_in_period = r.shed_last_period();
+    row.overloaded = r.policy().overload_state().overloaded;
     rows_.push_back(std::move(row));
   });
 }
@@ -58,6 +60,8 @@ bool TraceRecorder::write_csv(const std::string& path) const {
     }
   }
   header.push_back("emitted");
+  header.push_back("shed");
+  header.push_back("overloaded");
   csv.header(header);
   for (const TraceRow& row : rows_) {
     std::vector<double> cells{row.paper_s};
@@ -71,6 +75,8 @@ bool TraceRecorder::write_csv(const std::string& path) const {
       }
     }
     cells.push_back(static_cast<double>(row.emitted_in_period));
+    cells.push_back(static_cast<double>(row.shed_in_period));
+    cells.push_back(row.overloaded ? 1.0 : 0.0);
     csv.row(cells);
   }
   return true;

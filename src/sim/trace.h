@@ -19,6 +19,8 @@ struct TraceRow {
   std::vector<double> block_rates;  // per connection, fraction of period
   std::vector<int> cluster_of;      // per connection; empty if no clustering
   std::uint64_t emitted_in_period = 0;
+  std::uint64_t shed_in_period = 0;  // source tuples shed (overload mode)
+  bool overloaded = false;           // policy's declared overload state
 };
 
 /// Records one row per sample period via the region's sample hook.

@@ -61,15 +61,45 @@ std::vector<std::uint8_t> hello_bytes(std::uint32_t worker_id) {
   return out;
 }
 
+std::uint64_t Frame::gap_first() const {
+  return payload.size() >= 16 ? get_u64(payload.data()) : 0;
+}
+
+std::uint64_t Frame::gap_count() const {
+  return payload.size() >= 16 ? get_u64(payload.data() + 8) : 0;
+}
+
+std::vector<std::uint8_t> gap_bytes(std::uint64_t first,
+                                    std::uint64_t count) {
+  Frame gap;
+  gap.seq = kGapSeq;
+  put_u64(first, gap.payload);
+  put_u64(count, gap.payload);
+  std::vector<std::uint8_t> out;
+  encode_frame(gap, out);
+  return out;
+}
+
 void FrameDecoder::feed(const std::uint8_t* data, std::size_t len) {
+  if (corrupt_) return;
   buffer_.insert(buffer_.end(), data, data + len);
 }
 
 bool FrameDecoder::next(Frame& frame) {
+  if (corrupt_) return false;
   const std::size_t available = buffer_.size() - consumed_;
   if (available < kFrameHeaderBytes) return false;
   const std::uint8_t* base = buffer_.data() + consumed_;
   const std::uint32_t payload_len = get_u32(base);
+  if (payload_len > kMaxPayloadBytes) {
+    // Impossible length: the stream is garbage from here on. Drop the
+    // buffered bytes so a wedged connection cannot pin memory either.
+    corrupt_ = true;
+    buffer_.clear();
+    buffer_.shrink_to_fit();
+    consumed_ = 0;
+    return false;
+  }
   if (available < kFrameHeaderBytes + payload_len) return false;
   frame.seq = get_u64(base + 4);
   frame.payload.assign(base + kFrameHeaderBytes,

@@ -16,7 +16,19 @@ inline constexpr std::uint64_t kFinSeq = ~std::uint64_t{0};
 /// payload = [u32 worker_id]. Sent as the first frame on a replacement
 /// worker->merger connection so the merger can re-admit the right slot.
 inline constexpr std::uint64_t kHelloSeq = ~std::uint64_t{0} - 1;
+/// Reserved sequence announcing shed tuples: payload = [u64 first][u64
+/// count], meaning sequences [first, first + count) were dropped at the
+/// source and will never arrive. Workers forward these to the merger with
+/// zero work; the merger accounts them as gaps so ordered emission is not
+/// gated on them.
+inline constexpr std::uint64_t kGapSeq = ~std::uint64_t{0} - 2;
 inline constexpr std::size_t kFrameHeaderBytes = 4 + 8;
+
+/// Upper bound on a frame's payload accepted by the decoder. Far above
+/// anything this runtime sends (tuple payloads are a few KiB at most);
+/// its purpose is bounding the memory a hostile or corrupted length
+/// field can make the decoder buffer.
+inline constexpr std::size_t kMaxPayloadBytes = std::size_t{1} << 20;
 
 struct Frame {
   std::uint64_t seq = 0;
@@ -24,8 +36,13 @@ struct Frame {
 
   bool is_fin() const { return seq == kFinSeq && payload.empty(); }
   bool is_hello() const { return seq == kHelloSeq; }
+  bool is_gap() const { return seq == kGapSeq && payload.size() >= 16; }
   /// Worker id carried by a hello frame (call only when is_hello()).
   std::uint32_t hello_worker() const;
+  /// First shed sequence carried by a gap frame (call only when is_gap()).
+  std::uint64_t gap_first() const;
+  /// Number of consecutive shed sequences (call only when is_gap()).
+  std::uint64_t gap_count() const;
 };
 
 /// Serializes a frame into `out` (appended).
@@ -37,15 +54,29 @@ std::vector<std::uint8_t> fin_bytes();
 /// Builds the hello frame bytes announcing `worker_id`.
 std::vector<std::uint8_t> hello_bytes(std::uint32_t worker_id);
 
+/// Builds a gap frame declaring sequences [first, first + count) shed.
+std::vector<std::uint8_t> gap_bytes(std::uint64_t first,
+                                    std::uint64_t count);
+
 /// Incremental decoder: feed arbitrary byte chunks, take complete frames.
+///
+/// Robustness: a length field above kMaxPayloadBytes marks the stream
+/// corrupt — the decoder refuses further input and yields no more frames
+/// (resynchronizing inside a length-prefixed stream is guesswork; the
+/// connection must be torn down). This bounds the memory a hostile
+/// length field can pin to the bytes already received.
 class FrameDecoder {
  public:
-  /// Appends raw bytes from the wire.
+  /// Appends raw bytes from the wire. No-op once the stream is corrupt.
   void feed(const std::uint8_t* data, std::size_t len);
 
   /// Pops the next complete frame into `frame`; returns false when more
-  /// bytes are needed.
+  /// bytes are needed or the stream is corrupt.
   bool next(Frame& frame);
+
+  /// True once an impossible length field has been seen; the connection
+  /// should be treated as lost.
+  bool corrupt() const { return corrupt_; }
 
   std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
 
@@ -54,6 +85,7 @@ class FrameDecoder {
 
   std::vector<std::uint8_t> buffer_;
   std::size_t consumed_ = 0;
+  bool corrupt_ = false;
 };
 
 }  // namespace slb::net

@@ -1,0 +1,193 @@
+// Fuzz-style hardening tests for the wire framing: truncated streams,
+// corrupted length fields, hostile lengths, and randomized chunking must
+// all decode deterministically to either the original frames or a clean
+// corrupt() verdict — never unbounded allocation or garbage frames.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "transport/framing.h"
+#include "util/rng.h"
+
+namespace slb::net {
+namespace {
+
+std::vector<std::uint8_t> sample_stream(std::vector<Frame>* frames_out) {
+  std::vector<Frame> frames;
+  Frame a;
+  a.seq = 0;
+  a.payload = {1, 2, 3, 4, 5};
+  frames.push_back(a);
+  Frame b;
+  b.seq = 1;  // empty payload
+  frames.push_back(b);
+  Frame c;
+  c.seq = 2;
+  c.payload.assign(300, 0xAB);
+  frames.push_back(c);
+
+  std::vector<std::uint8_t> bytes;
+  for (const Frame& f : frames) encode_frame(f, bytes);
+  const std::vector<std::uint8_t> gap_wire = gap_bytes(3, 7);
+  bytes.insert(bytes.end(), gap_wire.begin(), gap_wire.end());
+  {
+    Frame gap;
+    gap.seq = kGapSeq;
+    // matches gap_bytes(3, 7)
+    for (int i = 0; i < 8; ++i) {
+      gap.payload.push_back(static_cast<std::uint8_t>(3ull >> (8 * i)));
+    }
+    for (int i = 0; i < 8; ++i) {
+      gap.payload.push_back(static_cast<std::uint8_t>(7ull >> (8 * i)));
+    }
+    frames.push_back(gap);
+  }
+  const std::vector<std::uint8_t> fin = fin_bytes();
+  bytes.insert(bytes.end(), fin.begin(), fin.end());
+  Frame fin_frame;
+  fin_frame.seq = kFinSeq;
+  frames.push_back(fin_frame);
+
+  if (frames_out != nullptr) *frames_out = frames;
+  return bytes;
+}
+
+std::vector<Frame> decode_all(FrameDecoder& dec) {
+  std::vector<Frame> out;
+  Frame f;
+  while (dec.next(f)) out.push_back(f);
+  return out;
+}
+
+TEST(FramingFuzz, EveryTruncationDecodesAPrefixAndNeverInvents) {
+  std::vector<Frame> expected;
+  const std::vector<std::uint8_t> bytes = sample_stream(&expected);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameDecoder dec;
+    dec.feed(bytes.data(), cut);
+    const std::vector<Frame> got = decode_all(dec);
+    EXPECT_FALSE(dec.corrupt()) << "cut=" << cut;
+    ASSERT_LE(got.size(), expected.size()) << "cut=" << cut;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].seq, expected[i].seq) << "cut=" << cut;
+      EXPECT_EQ(got[i].payload, expected[i].payload) << "cut=" << cut;
+    }
+    // Whatever was withheld stays buffered, bounded by what we fed.
+    EXPECT_LE(dec.buffered_bytes(), cut) << "cut=" << cut;
+  }
+}
+
+TEST(FramingFuzz, OversizedLengthFieldIsCleanCorruption) {
+  std::vector<std::uint8_t> bytes;
+  const std::uint32_t hostile =
+      static_cast<std::uint32_t>(kMaxPayloadBytes) + 1;
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(hostile >> (8 * i)));
+  }
+  for (int i = 0; i < 8; ++i) bytes.push_back(0);
+
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  Frame f;
+  EXPECT_FALSE(dec.next(f));
+  EXPECT_TRUE(dec.corrupt());
+  // The poisoned buffer was released, and further input is refused: a
+  // hostile peer cannot make the decoder hoard memory.
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+  const std::vector<std::uint8_t> more(4096, 0xFF);
+  for (int i = 0; i < 1000; ++i) dec.feed(more.data(), more.size());
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+  EXPECT_FALSE(dec.next(f));
+}
+
+TEST(FramingFuzz, MaxLengthFieldIsAcceptedOnceBytesArrive) {
+  // Exactly kMaxPayloadBytes is legal: the bound rejects only the
+  // impossible, not the merely large.
+  Frame big;
+  big.seq = 42;
+  big.payload.assign(kMaxPayloadBytes, 0x5A);
+  std::vector<std::uint8_t> bytes;
+  encode_frame(big, bytes);
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  Frame f;
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_FALSE(dec.corrupt());
+  EXPECT_EQ(f.seq, 42u);
+  EXPECT_EQ(f.payload.size(), kMaxPayloadBytes);
+}
+
+TEST(FramingFuzz, RandomChunkSplitsDecodeIdentically) {
+  std::vector<Frame> expected;
+  const std::vector<std::uint8_t> bytes = sample_stream(&expected);
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    FrameDecoder dec;
+    std::vector<Frame> got;
+    std::size_t off = 0;
+    Frame f;
+    while (off < bytes.size()) {
+      const std::size_t chunk = static_cast<std::size_t>(
+          1 + rng.below(std::min<std::uint64_t>(64, bytes.size() - off)));
+      dec.feed(bytes.data() + off, chunk);
+      off += chunk;
+      while (dec.next(f)) got.push_back(f);
+    }
+    ASSERT_EQ(got.size(), expected.size()) << "seed=" << seed;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].seq, expected[i].seq) << "seed=" << seed;
+      EXPECT_EQ(got[i].payload, expected[i].payload) << "seed=" << seed;
+    }
+    EXPECT_EQ(dec.buffered_bytes(), 0u);
+  }
+}
+
+TEST(FramingFuzz, RandomCorruptionNeverAllocatesUnboundedOrInvents) {
+  std::vector<Frame> expected;
+  const std::vector<std::uint8_t> clean = sample_stream(&expected);
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed);
+    std::vector<std::uint8_t> bytes = clean;
+    // Flip a handful of random bytes (length fields included).
+    const int flips = static_cast<int>(1 + rng.below(4));
+    for (int i = 0; i < flips; ++i) {
+      bytes[static_cast<std::size_t>(rng.below(bytes.size()))] ^=
+          static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    FrameDecoder dec;
+    dec.feed(bytes.data(), bytes.size());
+    Frame f;
+    std::size_t frames = 0;
+    while (dec.next(f)) {
+      // Any surviving frame has an in-bounds payload.
+      EXPECT_LE(f.payload.size(), kMaxPayloadBytes);
+      ++frames;
+    }
+    // Buffered residue never exceeds the bytes fed; corruption either
+    // truncates the stream or is flagged, both are clean outcomes.
+    EXPECT_LE(dec.buffered_bytes(), bytes.size()) << "seed=" << seed;
+    EXPECT_LE(frames, expected.size() + bytes.size() / kFrameHeaderBytes)
+        << "seed=" << seed;
+    if (dec.corrupt()) {
+      EXPECT_EQ(dec.buffered_bytes(), 0u);
+    }
+  }
+}
+
+TEST(FramingFuzz, GapFrameRoundTrip) {
+  const std::vector<std::uint8_t> bytes = gap_bytes(1'000'000, 12345);
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  Frame f;
+  ASSERT_TRUE(dec.next(f));
+  ASSERT_TRUE(f.is_gap());
+  EXPECT_EQ(f.gap_first(), 1'000'000u);
+  EXPECT_EQ(f.gap_count(), 12'345u);
+  EXPECT_FALSE(f.is_fin());
+  EXPECT_FALSE(f.is_hello());
+}
+
+}  // namespace
+}  // namespace slb::net

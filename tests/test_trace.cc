@@ -86,7 +86,7 @@ TEST(Trace, WritesWellFormedCsv) {
   std::ifstream in(path);
   std::string header;
   ASSERT_TRUE(std::getline(in, header));
-  EXPECT_EQ(header, "paper_s,w0,w1,rate0,rate1,emitted");
+  EXPECT_EQ(header, "paper_s,w0,w1,rate0,rate1,emitted,shed,overloaded");
   int rows = 0;
   std::string line;
   while (std::getline(in, line)) ++rows;

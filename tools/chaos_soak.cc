@@ -1,0 +1,368 @@
+// Chaos soak: seeded randomized fault + overload schedules against the
+// invariants the rest of the repo promises (ISSUE/DESIGN.md §7).
+//
+// Each seed expands — through the repo's own deterministic xoshiro256++
+// — into a random region shape, an external-load schedule with overload
+// bursts, a crash/recover/stall schedule, and (sometimes) an open-loop
+// source with shedding watermarks. The run then has to keep every
+// invariant:
+//
+//   * conservation: every sequence number is emitted, a declared gap
+//     (crash loss or shed), or demonstrably in flight;
+//   * ordered prefix-with-gaps: the merger never regresses;
+//   * simplex-feasible weights at every sample (non-negative, summing to
+//     kWeightUnits, zero on downed channels);
+//   * progress: the region keeps emitting unless every worker is dead;
+//   * determinism (sim): the same seed replays to the same signature.
+//
+// Usage:
+//   chaos_soak [--seed S] [--seeds K] [--mode sim|rt|both]
+//              [--duration-ms D] [--verify-replay]
+//
+// Runs K seeds starting at S (default 3 starting at 1) and exits
+// non-zero on the first invariant violation. `--verify-replay` runs each
+// sim seed twice and compares signatures. The short fixed-seed ctest
+// variants live in tools/CMakeLists.txt.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/policies.h"
+#include "core/types.h"
+#include "runtime/local_region.h"
+#include "sim/region.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace slb {
+namespace {
+
+int failures = 0;
+
+void check(bool ok, std::uint64_t seed, const char* what) {
+  if (ok) return;
+  ++failures;
+  std::fprintf(stderr, "FAIL seed=%" PRIu64 ": %s\n", seed, what);
+}
+
+ControllerConfig protected_controller() {
+  ControllerConfig cfg;
+  cfg.enable_overload_protection = true;
+  cfg.saturation.enter_periods = 3;
+  cfg.saturation.exit_periods = 3;
+  return cfg;
+}
+
+// --- simulator soak ----------------------------------------------------
+
+struct SimPlan {
+  sim::RegionConfig region;
+  sim::LoadProfile load;
+  std::vector<sim::FaultEvent> faults;
+  int permanently_dead = 0;
+};
+
+SimPlan make_sim_plan(std::uint64_t seed, DurationNs duration) {
+  Rng rng(seed);
+  SimPlan plan;
+  const int workers = static_cast<int>(2 + rng.below(4));  // 2..5
+  plan.region.workers = workers;
+  plan.region.base_cost = micros(static_cast<long>(4 + rng.below(8)));
+  plan.region.send_overhead = 500;
+  plan.region.sample_period = millis(5);
+  plan.region.admission_control = true;
+  plan.region.watchdog = true;
+  plan.region.watchdog_periods = 6;
+
+  if (rng.chance(0.5)) {
+    // Open-loop source offered at 1.5–3x of nominal capacity, with
+    // shedding armed. (Nominal capacity ignores load bursts, so bursts
+    // push the region even deeper into infeasibility.)
+    const double over = rng.uniform(1.5, 3.0);
+    plan.region.source_interval = static_cast<DurationNs>(
+        static_cast<double>(plan.region.base_cost) / (workers * over));
+    const std::uint64_t high = 64 + rng.below(192);
+    plan.region.shed_high_watermark = high;
+    plan.region.shed_low_watermark = high / 2;
+  }
+
+  // Overload bursts: all workers slowed together so no reallocation can
+  // restore feasibility — the saturation detector's target regime.
+  plan.load = sim::LoadProfile(workers);
+  const int bursts = static_cast<int>(1 + rng.below(3));
+  for (int b = 0; b < bursts; ++b) {
+    const TimeNs at = static_cast<TimeNs>(rng.below(
+        static_cast<std::uint64_t>(duration * 3 / 4)));
+    const DurationNs len =
+        millis(static_cast<long>(20 + rng.below(60)));
+    const double mult = rng.uniform(2.0, 8.0);
+    for (int j = 0; j < workers; ++j) {
+      plan.load.add_step(j, at, mult);
+      plan.load.add_step(j, at + len, 1.0);
+    }
+  }
+
+  // Fault schedule: crashes with optional recovery (at most workers-1
+  // permanent deaths so the run can always make progress), plus stalls.
+  for (int j = 0; j < workers; ++j) {
+    if (rng.chance(0.4)) {
+      const TimeNs at = static_cast<TimeNs>(
+          millis(10) + rng.below(static_cast<std::uint64_t>(duration / 2)));
+      plan.faults.push_back({sim::FaultKind::kWorkerCrash, j, at, 0});
+      if (rng.chance(0.7) || plan.permanently_dead + 1 >= workers) {
+        const TimeNs back = at + millis(static_cast<long>(
+                                     20 + rng.below(80)));
+        plan.faults.push_back({sim::FaultKind::kWorkerRecover, j, back, 0});
+      } else {
+        ++plan.permanently_dead;
+      }
+    } else if (rng.chance(0.3)) {
+      const TimeNs at = static_cast<TimeNs>(
+          millis(5) + rng.below(static_cast<std::uint64_t>(duration / 2)));
+      plan.faults.push_back({sim::FaultKind::kChannelStall, j, at,
+                             millis(static_cast<long>(5 + rng.below(20)))});
+    }
+  }
+  return plan;
+}
+
+struct SimOutcome {
+  std::vector<std::uint64_t> signature;
+  bool invariants_ok = true;
+};
+
+SimOutcome run_sim_once(std::uint64_t seed, DurationNs duration) {
+  const SimPlan plan = make_sim_plan(seed, duration);
+  const int workers = plan.region.workers;
+  sim::Region region(plan.region,
+                     std::make_unique<LoadBalancingPolicy>(
+                         workers, protected_controller()),
+                     plan.load);
+  for (const sim::FaultEvent& f : plan.faults) region.inject_fault(f);
+
+  SimOutcome out;
+  std::uint64_t prev_gaps = 0;
+  bool weights_ok = true;
+  bool gaps_monotone = true;
+  region.set_sample_hook([&](sim::Region& r) {
+    const WeightVector& w = r.policy().weights();
+    Weight sum = 0;
+    for (Weight x : w) {
+      if (x < 0) weights_ok = false;
+      sum += x;
+    }
+    if (sum != kWeightUnits) weights_ok = false;
+    const std::uint64_t gaps = r.merger().gaps();
+    if (gaps < prev_gaps) gaps_monotone = false;
+    prev_gaps = gaps;
+  });
+
+  std::uint64_t emitted_mid = 0;
+  region.start();
+  region.run_for(duration / 2);
+  emitted_mid = region.emitted();
+  region.run_for(duration - duration / 2);
+
+  check(weights_ok, seed, "sim: weights left the simplex");
+  check(gaps_monotone, seed, "sim: merger gap count regressed");
+
+  // Conservation: every *sent* tuple is emitted, lost to a crash, or
+  // demonstrably somewhere in the region right now. Shed tuples never
+  // entered a channel; they consumed sequence numbers and surface as
+  // merger gaps instead.
+  std::uint64_t in_flight = 0;
+  int live = 0;
+  for (int j = 0; j < workers; ++j) {
+    in_flight += region.channel(j).occupancy();
+    in_flight += region.merger().queue_size(j);
+    if (region.worker(j).busy()) ++in_flight;
+    if (region.worker(j).stalled()) ++in_flight;
+    if (!region.worker(j).down()) ++live;
+  }
+  check(region.splitter().total_sent() ==
+            region.emitted() + region.lost_tuples() + in_flight,
+        seed, "sim: conservation (sent == emitted + lost + in-flight)");
+  check(region.merger().gaps() <=
+            region.lost_tuples() + region.shed_tuples(),
+        seed, "sim: gaps exceed declared losses + sheds");
+  check(region.emitted() > 0, seed, "sim: nothing emitted at all");
+  if (live > 0) {
+    check(region.emitted() > emitted_mid, seed,
+          "sim: no progress in the second half despite live workers");
+  }
+
+  out.invariants_ok = failures == 0;
+  out.signature.push_back(region.emitted());
+  out.signature.push_back(region.splitter().total_sent());
+  out.signature.push_back(region.shed_tuples());
+  out.signature.push_back(region.lost_tuples());
+  out.signature.push_back(region.merger().gaps());
+  out.signature.push_back(region.splitter().failovers());
+  out.signature.push_back(
+      static_cast<std::uint64_t>(region.watchdog_stage()));
+  for (int j = 0; j < workers; ++j) {
+    out.signature.push_back(region.splitter().sent(j));
+    out.signature.push_back(region.worker(j).processed());
+    out.signature.push_back(
+        static_cast<std::uint64_t>(region.policy().weights()[j]));
+  }
+  return out;
+}
+
+void run_sim_seed(std::uint64_t seed, DurationNs duration,
+                  bool verify_replay) {
+  const SimOutcome first = run_sim_once(seed, duration);
+  if (verify_replay) {
+    const SimOutcome second = run_sim_once(seed, duration);
+    check(first.signature == second.signature, seed,
+          "sim: replay diverged (same seed, different signature)");
+  }
+  std::printf("  sim  seed=%-6" PRIu64 " emitted=%-9" PRIu64
+              " shed=%-7" PRIu64 " lost=%-5" PRIu64 " gaps=%-7" PRIu64
+              " %s\n",
+              seed, first.signature[0], first.signature[2],
+              first.signature[3], first.signature[4],
+              failures == 0 ? "ok" : "FAIL");
+}
+
+// --- runtime soak ------------------------------------------------------
+
+void run_rt_seed(std::uint64_t seed, DurationNs duration) {
+  Rng rng(seed);
+  rt::LocalRegionConfig cfg;
+  const int workers = static_cast<int>(2 + rng.below(3));  // 2..4
+  cfg.workers = workers;
+  cfg.multiplies = 2000;
+  cfg.work_mode = rt::WorkMode::kTimed;
+  cfg.payload_bytes = 32;
+  cfg.sample_period = millis(50);
+  cfg.merger_gap_timeout = millis(200);
+  cfg.admission_control = true;
+  cfg.watchdog = true;
+  cfg.watchdog_periods = 4;
+
+  std::uint64_t expected_kills = 0;
+  if (rng.chance(0.7)) {
+    const int victim = static_cast<int>(rng.below(workers));
+    const DurationNs at =
+        millis(static_cast<long>(150 + rng.below(300)));
+    cfg.failure_events.push_back({at, victim, /*restart=*/false});
+    ++expected_kills;
+    if (rng.chance(0.7)) {
+      cfg.failure_events.push_back(
+          {at + millis(static_cast<long>(250 + rng.below(250))), victim,
+           /*restart=*/true});
+    }
+  }
+  // Overload burst: every worker slowed together for a stretch.
+  if (rng.chance(0.8)) {
+    const DurationNs at =
+        millis(static_cast<long>(100 + rng.below(200)));
+    const DurationNs until =
+        at + millis(static_cast<long>(200 + rng.below(300)));
+    const double mult = rng.uniform(3.0, 8.0);
+    for (int j = 0; j < workers; ++j) {
+      cfg.load_events.push_back({at, j, mult});
+      cfg.load_events.push_back({until, j, 1.0});
+    }
+  }
+  if (rng.chance(0.5)) {
+    // Open loop at ~2x nominal capacity (kTimed: 1 ns per multiply),
+    // with shedding armed.
+    cfg.source_interval = static_cast<DurationNs>(
+        cfg.multiplies / (2.0 * workers));
+    cfg.shed_high_watermark = 256;
+    cfg.shed_low_watermark = 128;
+  }
+
+  rt::LocalRegion region(
+      cfg, std::make_unique<LoadBalancingPolicy>(workers,
+                                                 protected_controller()));
+  bool weights_ok = true;
+  region.set_sample_hook([&](const rt::LocalSample& s) {
+    Weight sum = 0;
+    for (Weight x : s.weights) {
+      if (x < 0) weights_ok = false;
+      sum += x;
+    }
+    if (sum != kWeightUnits) weights_ok = false;
+  });
+  const rt::LocalRunStats stats = region.run(duration);
+
+  check(stats.order_ok, seed,
+        "rt: order/conservation violated (emitted + gaps != sent + shed "
+        "or out-of-order emission)");
+  check(stats.emitted + stats.gaps == stats.sent + stats.shed, seed,
+        "rt: emitted + gaps != sent + shed");
+  check(weights_ok, seed, "rt: weights left the simplex");
+  check(stats.emitted > 0, seed, "rt: nothing emitted at all");
+  check(stats.channel_failures >= expected_kills, seed,
+        "rt: scheduled kill not observed as a channel failure");
+  std::printf("  rt   seed=%-6" PRIu64 " sent=%-9" PRIu64 " emitted=%-9"
+              PRIu64 " shed=%-7" PRIu64 " gaps=%-5" PRIu64 " %s\n",
+              seed, stats.sent, stats.emitted, stats.shed, stats.gaps,
+              failures == 0 ? "ok" : "FAIL");
+}
+
+}  // namespace
+}  // namespace slb
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  int seeds = 3;
+  std::string mode = "both";
+  long duration_ms = 0;  // 0 = per-mode default
+  bool verify_replay = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--seed") {
+      seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--seeds" || arg == "--runs") {
+      seeds = std::atoi(value());
+    } else if (arg == "--mode") {
+      mode = value();
+    } else if (arg == "--duration-ms") {
+      duration_ms = std::atol(value());
+    } else if (arg == "--verify-replay") {
+      verify_replay = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: chaos_soak [--seed S] [--seeds K] "
+                   "[--mode sim|rt|both] [--duration-ms D] "
+                   "[--verify-replay]\n");
+      return 2;
+    }
+  }
+
+  std::printf("chaos soak: %d seed(s) from %" PRIu64 ", mode=%s%s\n",
+              seeds, seed, mode.c_str(),
+              verify_replay ? ", replay-verified" : "");
+  for (int k = 0; k < seeds; ++k) {
+    const std::uint64_t s = seed + static_cast<std::uint64_t>(k);
+    if (mode == "sim" || mode == "both") {
+      slb::run_sim_seed(
+          s, slb::millis(duration_ms > 0 ? duration_ms : 400),
+          verify_replay);
+    }
+    if (mode == "rt" || mode == "both") {
+      slb::run_rt_seed(
+          s, slb::millis(duration_ms > 0 ? duration_ms : 1200));
+    }
+  }
+  if (slb::failures > 0) {
+    std::fprintf(stderr, "chaos soak: %d invariant violation(s)\n",
+                 slb::failures);
+    return 1;
+  }
+  std::printf("chaos soak: all invariants held\n");
+  return 0;
+}
