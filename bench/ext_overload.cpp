@@ -17,11 +17,13 @@
 // capacity as goodput with a backlog bounded by the shed watermark, while
 // both unprotected runs end with backlogs that grew linearly all run.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
 #include "bench/bench_common.h"
 #include "core/policies.h"
+#include "obs/export.h"
 #include "sim/region.h"
 #include "util/time.h"
 
@@ -86,6 +88,14 @@ Outcome run_one(const std::string& name, bool protect, DurationNs duration) {
   out.goodput_fraction = goodput_tps / capacity_tps;
   out.shed = region.shed_tuples();
   out.backlog = region.splitter().source_backlog(region.now());
+
+  // End-of-run registry dump (DESIGN.md §8): one cumulative snapshot per
+  // configuration, appended to $SLB_METRICS_OUT as JSON lines.
+  if (const char* path = std::getenv("SLB_METRICS_OUT");
+      path != nullptr && *path != '\0') {
+    obs::JsonlExporter exporter(&region.metrics(), path, /*append=*/true);
+    if (exporter.ok()) exporter.dump(region.now());
+  }
   return out;
 }
 

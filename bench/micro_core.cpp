@@ -4,14 +4,17 @@
 // WRR picking, and the clustering distance matrix.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <vector>
 
 #include "core/clustering.h"
 #include "core/controller.h"
 #include "core/monotone_regression.h"
+#include "core/policies.h"
 #include "core/rap.h"
 #include "core/rate_function.h"
 #include "core/wrr.h"
+#include "sim/region.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -136,6 +139,89 @@ void BM_ControllerUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ControllerUpdate)->RangeMultiplier(4)->Range(4, 64);
+
+// ---- observability overhead -------------------------------------------------
+
+// Splitter hot path in isolation: channels drained the instant a tuple
+// arrives, so every simulated event is splitter work (policy pick, push,
+// event scheduling) plus — with Arg 1 — the splitter's own registry
+// updates. The relative gap between the two rows is the instrumentation
+// overhead on the send path quoted in EXPERIMENTS.md (§8 target: <= 2%).
+void BM_SimSplitterSend(benchmark::State& state) {
+  const bool metrics_on = state.range(0) != 0;
+  const int n = 4;
+  sim::Simulator sim;
+  sim::Channel::Config chan_cfg;
+  chan_cfg.send_capacity = 64;
+  chan_cfg.recv_capacity = 64;
+  chan_cfg.latency = 1000;
+  std::vector<std::unique_ptr<sim::Channel>> channels;
+  std::vector<sim::Channel*> ptrs;
+  for (int j = 0; j < n; ++j) {
+    channels.push_back(std::make_unique<sim::Channel>(&sim, j, chan_cfg));
+    sim::Channel* c = channels.back().get();
+    c->set_on_recv_ready([c] {
+      while (!c->recv_empty()) c->pop_recv();
+    });
+    ptrs.push_back(c);
+  }
+  RoundRobinPolicy policy(n);
+  BlockingCounterSet counters(static_cast<std::size_t>(n));
+  sim::Splitter splitter(&sim, &policy, /*send_overhead=*/500);
+  splitter.wire(ptrs, &counters);
+  obs::MetricsRegistry registry;
+  if (metrics_on) {
+    sim::SplitterMetrics sm;
+    sm.sent = &registry.counter("splitter.sent");
+    sm.blocks = &registry.counter("splitter.blocks");
+    sm.block_ns = &registry.histogram("splitter.block_ns");
+    sm.failovers = &registry.counter("splitter.failovers");
+    sm.rerouted = &registry.counter("splitter.rerouted");
+    sm.shed = &registry.counter("splitter.shed");
+    splitter.set_metrics(sm);
+  }
+  splitter.start();
+  std::uint64_t prev_sent = 0;
+  std::uint64_t items = 0;
+  TimeNs until = 0;
+  for (auto _ : state) {
+    until += millis(5);
+    sim.run_until(until);
+    const std::uint64_t sent = splitter.total_sent();
+    items += sent - prev_sent;
+    prev_sent = sent;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(items));
+  state.SetLabel(metrics_on ? "metrics-on" : "metrics-off");
+}
+BENCHMARK(BM_SimSplitterSend)->Arg(0)->Arg(1);
+
+// Whole-region variant: RegionConfig::metrics toggles *every* component's
+// instrumentation (splitter counters, worker service histograms, merger
+// emit/reorder metrics, policy gauges), so this row bounds the full
+// pipeline's per-tuple cost, not just the send path.
+void BM_SimRegionSend(benchmark::State& state) {
+  sim::RegionConfig cfg;
+  cfg.workers = 4;
+  cfg.base_cost = micros(4);
+  cfg.send_overhead = 500;
+  cfg.sample_period = millis(10);
+  cfg.metrics = state.range(0) != 0;
+  sim::Region region(cfg,
+                     std::make_unique<LoadBalancingPolicy>(cfg.workers));
+  region.start();
+  std::uint64_t prev_sent = 0;
+  std::uint64_t items = 0;
+  for (auto _ : state) {
+    region.run_for(millis(5));
+    const std::uint64_t sent = region.splitter().total_sent();
+    items += sent - prev_sent;
+    prev_sent = sent;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(items));
+  state.SetLabel(cfg.metrics ? "metrics-on" : "metrics-off");
+}
+BENCHMARK(BM_SimRegionSend)->Arg(0)->Arg(1);
 
 // ---- clustering -------------------------------------------------------------
 

@@ -42,10 +42,21 @@ const WeightVector& LoadBalanceController::update(
     status_.smoothed_rates[ju] = estimator_.rate(j);
   }
 
+  if (journal_ != nullptr) {
+    journal_->append(obs::JsonLine{}
+                         .str("ev", "observe")
+                         .num("t", static_cast<std::int64_t>(now))
+                         .ints("held", held)
+                         .reals("raw", status_.raw_rates)
+                         .reals("smoothed", status_.smoothed_rates)
+                         .finish());
+  }
+
   if (config_.enable_overload_protection) {
     saturation_.observe(status_.raw_rates, down_);
     status_.overloaded = saturation_.overloaded();
     status_.capacity_deficit = saturation_.capacity_deficit();
+    note_overload_transition(now);
     if (saturation_.overloaded()) {
       // Declared overload: every F_j is pinned at its ceiling, so these
       // observations carry no gradient — folding them in would flatten
@@ -72,6 +83,13 @@ const WeightVector& LoadBalanceController::update(
       functions_[ju].decay_above(held[ju], config_.decay_factor);
     }
   }
+  if (journal_ != nullptr && config_.decay_factor < 1.0) {
+    journal_->append(obs::JsonLine{}
+                         .str("ev", "decay")
+                         .real("factor", config_.decay_factor)
+                         .ints("held", held)
+                         .finish());
+  }
 
   // No connection has ever blocked: every function is identically zero
   // and the optimizer would be choosing between indistinguishable
@@ -93,6 +111,10 @@ const WeightVector& LoadBalanceController::update(
 
   ++status_.updates;
   status_.weights = weights_;
+  if (metrics_.updates != nullptr) {
+    metrics_.updates->inc();
+    metrics_.live->set(live());
+  }
   return weights_;
 }
 
@@ -117,11 +139,25 @@ void LoadBalanceController::mark_down(int j) {
   // Whatever was learned about this connection described a worker that no
   // longer exists; a restarted replacement starts from a clean slate.
   functions_[ju].reset();
+  if (metrics_.mark_downs != nullptr) {
+    metrics_.mark_downs->inc();
+    metrics_.live->set(live());
+  }
+  const auto journal_mark_down = [this, j](std::string_view mode) {
+    if (journal_ == nullptr) return;
+    journal_->append(obs::JsonLine{}
+                         .str("ev", "mark_down")
+                         .num("j", static_cast<std::int64_t>(j))
+                         .str("mode", mode)
+                         .ints("weights", weights_)
+                         .finish());
+  };
 
   if (live() == 0) {
     // Nothing left to route to: keep weights (the splitter is stalled
     // anyway) so the invariant sum(w) == kWeightUnits survives.
     status_.weights = weights_;
+    journal_mark_down("hold");
     return;
   }
   // Safe-mode fallback: a crash during declared overload invalidates the
@@ -137,6 +173,7 @@ void LoadBalanceController::mark_down(int j) {
     }
     weights_ = weights_from_shares(even);
     status_.weights = weights_;
+    journal_mark_down("safe_even");
     return;
   }
 
@@ -160,6 +197,7 @@ void LoadBalanceController::mark_down(int j) {
   }
   weights_ = weights_from_shares(shares);
   status_.weights = weights_;
+  journal_mark_down("redistribute");
 }
 
 void LoadBalanceController::mark_up(int j) {
@@ -172,6 +210,73 @@ void LoadBalanceController::mark_up(int j) {
   // probing as any shut-off channel — a trickle first, doubling per
   // update while it keeps absorbing load without blocking.
   functions_[ju].reset();
+  if (metrics_.mark_ups != nullptr) {
+    metrics_.mark_ups->inc();
+    metrics_.live->set(live());
+  }
+  if (journal_ != nullptr) {
+    journal_->append(obs::JsonLine{}
+                         .str("ev", "mark_up")
+                         .num("j", static_cast<std::int64_t>(j))
+                         .finish());
+  }
+}
+
+void LoadBalanceController::note_overload_transition(TimeNs now) {
+  const bool cur = saturation_.overloaded();
+  if (metrics_.overloaded != nullptr) {
+    metrics_.overloaded->set(cur ? 1 : 0);
+  }
+  if (cur == last_overloaded_) return;
+  last_overloaded_ = cur;
+  if (metrics_.overload_enters != nullptr) {
+    (cur ? metrics_.overload_enters : metrics_.overload_exits)->inc();
+  }
+  if (journal_ != nullptr) {
+    journal_->append(obs::JsonLine{}
+                         .str("ev", cur ? "overload_enter" : "overload_exit")
+                         .num("t", static_cast<std::int64_t>(now))
+                         .real("aggregate", saturation_.last_aggregate())
+                         .real("deficit", saturation_.capacity_deficit())
+                         .finish());
+  }
+}
+
+void LoadBalanceController::journal_solve(std::string_view mode) {
+  if (metrics_.solves != nullptr) {
+    metrics_.solves->inc();
+    if (!status_.solver_feasible) metrics_.infeasible->inc();
+  }
+  if (journal_ == nullptr) return;
+  journal_->append(obs::JsonLine{}
+                       .str("ev", "solve")
+                       .str("mode", mode)
+                       .str("solver", config_.solver == RapSolverKind::kFox
+                                          ? "fox"
+                                          : "bisect")
+                       .real("objective", status_.objective)
+                       .boolean("feasible", status_.solver_feasible)
+                       .ints("weights", weights_)
+                       .finish());
+}
+
+void LoadBalanceController::attach_metrics(obs::MetricsRegistry& registry,
+                                           std::string_view prefix) {
+  const auto name = [prefix](std::string_view leaf) {
+    std::string full(prefix);
+    full += leaf;
+    return full;
+  };
+  metrics_.updates = &registry.counter(name("updates"));
+  metrics_.solves = &registry.counter(name("solves"));
+  metrics_.infeasible = &registry.counter(name("infeasible"));
+  metrics_.overload_enters = &registry.counter(name("overload_enters"));
+  metrics_.overload_exits = &registry.counter(name("overload_exits"));
+  metrics_.mark_downs = &registry.counter(name("mark_downs"));
+  metrics_.mark_ups = &registry.counter(name("mark_ups"));
+  metrics_.overloaded = &registry.gauge(name("overloaded"));
+  metrics_.live = &registry.gauge(name("live"));
+  metrics_.live->set(live());
 }
 
 void LoadBalanceController::solve_flat() {
@@ -209,6 +314,7 @@ void LoadBalanceController::solve_flat() {
   status_.objective = sol.objective;
   status_.solver_feasible = sol.feasible;
   if (sol.feasible) weights_ = sol.weights;
+  journal_solve("flat");
 }
 
 void LoadBalanceController::solve_clustered() {
@@ -219,6 +325,12 @@ void LoadBalanceController::solve_clustered() {
 
   status_.clusters = cluster_functions(fns, config_.clustering);
   const int k = static_cast<int>(status_.clusters.size());
+  if (journal_ != nullptr) {
+    journal_->append(obs::JsonLine{}
+                         .str("ev", "cluster")
+                         .int_lists("clusters", status_.clusters)
+                         .finish());
+  }
 
   std::vector<RateFunction> merged;
   merged.reserve(static_cast<std::size_t>(k));
@@ -263,6 +375,7 @@ void LoadBalanceController::solve_clustered() {
   status_.objective = sol.objective;
   status_.solver_feasible = sol.feasible;
   if (sol.feasible) weights_ = sol.weights;
+  journal_solve("clustered");
 }
 
 }  // namespace slb

@@ -20,6 +20,8 @@
 #include "core/rate_function.h"
 #include "core/saturation.h"
 #include "core/types.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
 #include "util/time.h"
 
 namespace slb {
@@ -160,6 +162,20 @@ class LoadBalanceController {
   bool overloaded() const {
     return config_.enable_overload_protection && saturation_.overloaded();
   }
+
+  /// Decision journal (DESIGN.md §8): while attached, every adaptation
+  /// decision — observe, decay, cluster, solve, overload transition,
+  /// mark_down/mark_up — is appended as one JSON line with the inputs the
+  /// controller saw and the outputs it chose. Fixed-seed runs produce
+  /// byte-identical journals. Pass nullptr to detach. Not owned.
+  void set_journal(obs::DecisionJournal* journal) { journal_ = journal; }
+  obs::DecisionJournal* journal() const { return journal_; }
+
+  /// Registers the controller's counters and gauges under `prefix` in
+  /// `registry` and keeps them current from then on. Handles are stable
+  /// for the registry's lifetime; call once at wiring time.
+  void attach_metrics(obs::MetricsRegistry& registry,
+                      std::string_view prefix = "controller.");
   /// Estimated fraction of the offered load exceeding capacity (0 when
   /// not overloaded). Drives source throttling and shedding.
   double capacity_deficit() const { return saturation_.capacity_deficit(); }
@@ -168,6 +184,9 @@ class LoadBalanceController {
  private:
   void solve_flat();
   void solve_clustered();
+  void journal_solve(std::string_view mode);
+  /// Journals + counts an overload enter/exit edge after observe().
+  void note_overload_transition(TimeNs now);
 
   ControllerConfig config_;
   BlockingRateEstimator estimator_;
@@ -181,6 +200,24 @@ class LoadBalanceController {
   /// Until some connection actually blocks there is no evidence to act on
   /// (all functions are identically zero); keep the even split.
   bool seen_blocking_ = false;
+
+  obs::DecisionJournal* journal_ = nullptr;
+  /// Edge detector for overload enter/exit journal lines and counters.
+  bool last_overloaded_ = false;
+  /// Registry handles (attach_metrics); null until attached. The handles
+  /// stay valid for the registry's lifetime, which callers must make
+  /// outlive the controller.
+  struct Metrics {
+    obs::Counter* updates = nullptr;
+    obs::Counter* solves = nullptr;
+    obs::Counter* infeasible = nullptr;
+    obs::Counter* overload_enters = nullptr;
+    obs::Counter* overload_exits = nullptr;
+    obs::Counter* mark_downs = nullptr;
+    obs::Counter* mark_ups = nullptr;
+    obs::Gauge* overloaded = nullptr;
+    obs::Gauge* live = nullptr;
+  } metrics_;
 };
 
 }  // namespace slb

@@ -54,13 +54,24 @@ void LoadBalancingPolicy::on_channel_up(ConnectionId j) {
 void LoadBalancingPolicy::enter_safe_mode() {
   if (safe_mode_) return;
   safe_mode_ = true;
+  if (safe_mode_gauge_ != nullptr) safe_mode_gauge_->set(1);
   pin_even_live();
 }
 
 void LoadBalancingPolicy::exit_safe_mode() {
   if (!safe_mode_) return;
   safe_mode_ = false;
+  if (safe_mode_gauge_ != nullptr) safe_mode_gauge_->set(0);
   wrr_.set_weights(controller_.weights());
+}
+
+void LoadBalancingPolicy::attach_metrics(obs::MetricsRegistry& registry,
+                                         std::string_view prefix) {
+  controller_.attach_metrics(registry, prefix);
+  std::string gauge_name(prefix);
+  gauge_name += "safe_mode";
+  safe_mode_gauge_ = &registry.gauge(gauge_name);
+  safe_mode_gauge_->set(safe_mode_ ? 1 : 0);
 }
 
 void LoadBalancingPolicy::pin_even_live() {

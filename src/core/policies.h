@@ -85,6 +85,19 @@ class SplitPolicy {
   /// approach of Section 4.4, kept as a reproducible baseline).
   virtual bool reroute_on_block() const { return false; }
 
+  /// Observability (DESIGN.md §8): register this policy's metrics under
+  /// `prefix` in `registry`. Default no-op — static policies have no
+  /// internal state worth exporting.
+  virtual void attach_metrics(obs::MetricsRegistry& registry,
+                              std::string_view prefix) {
+    (void)registry;
+    (void)prefix;
+  }
+
+  /// Observability: attach a controller decision journal. Default no-op
+  /// for policies without a controller.
+  virtual void set_journal(obs::DecisionJournal* journal) { (void)journal; }
+
   virtual std::string name() const = 0;
 };
 
@@ -138,6 +151,14 @@ class LoadBalancingPolicy : public SplitPolicy {
                                                    : "LB-static";
   }
 
+  /// Controller counters/gauges land under `prefix` (e.g. "policy." ->
+  /// "policy.updates"); a safe-mode gauge rides along.
+  void attach_metrics(obs::MetricsRegistry& registry,
+                      std::string_view prefix) override;
+  void set_journal(obs::DecisionJournal* journal) override {
+    controller_.set_journal(journal);
+  }
+
   const LoadBalanceController& controller() const { return controller_; }
 
  private:
@@ -149,6 +170,7 @@ class LoadBalancingPolicy : public SplitPolicy {
   /// While set, the WRR runs an even split over live connections and the
   /// controller's output is ignored (though it keeps learning).
   bool safe_mode_ = false;
+  obs::Gauge* safe_mode_gauge_ = nullptr;
 };
 
 /// Oracle*: applies externally-known ideal weights on a fixed schedule

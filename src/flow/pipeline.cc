@@ -124,6 +124,30 @@ std::unique_ptr<Pipeline> PipelineBuilder::build() {
         sim, stage.policy.get(), config_.source_overhead);
     stage.splitter->wire(std::move(channel_ptrs), stage.counters.get());
     stage.splitter->set_input(stage.input.get());
+
+    if (config_.metrics) {
+      obs::MetricsRegistry& reg = pipeline->metrics_;
+      const std::string prefix = "stage." + stage.name + ".";
+      sim::SplitterMetrics sm;
+      sm.sent = &reg.counter(prefix + "splitter.sent");
+      sm.blocks = &reg.counter(prefix + "splitter.blocks");
+      sm.block_ns = &reg.histogram(prefix + "splitter.block_ns");
+      sm.failovers = &reg.counter(prefix + "splitter.failovers");
+      sm.rerouted = &reg.counter(prefix + "splitter.rerouted");
+      sm.shed = &reg.counter(prefix + "splitter.shed");
+      stage.splitter->set_metrics(sm);
+      sim::MergerMetrics mm;
+      mm.emitted = &reg.counter(prefix + "merger.emitted");
+      mm.gaps = &reg.counter(prefix + "merger.gaps");
+      mm.reorder_depth = &reg.histogram(prefix + "merger.reorder_depth");
+      mm.gap_wait_ns = &reg.histogram(prefix + "merger.gap_wait_ns");
+      stage.merger->set_metrics(mm);
+      for (std::size_t j = 0; j < stage.workers.size(); ++j) {
+        stage.workers[j]->set_service_histogram(&reg.histogram(
+            prefix + "worker." + std::to_string(j) + ".service_ns"));
+      }
+      stage.policy->attach_metrics(reg, prefix + "policy.");
+    }
   }
 
   // The source is a 1-connection splitter writing into stage 0's input.
@@ -133,6 +157,17 @@ std::unique_ptr<Pipeline> PipelineBuilder::build() {
       config_.source_interval);
   pipeline->source_->wire({pipeline->stages_.front()->input.get()},
                           &pipeline->source_counters_);
+  if (config_.metrics) {
+    obs::MetricsRegistry& reg = pipeline->metrics_;
+    sim::SplitterMetrics sm;
+    sm.sent = &reg.counter("source.sent");
+    sm.blocks = &reg.counter("source.blocks");
+    sm.block_ns = &reg.histogram("source.block_ns");
+    sm.shed = &reg.counter("source.shed");
+    pipeline->source_->set_metrics(sm);
+    pipeline->throttle_gauge_ = &reg.gauge("source.throttle_m");
+    pipeline->throttle_gauge_->set(1000);
+  }
   return pipeline;
 }
 
@@ -171,6 +206,10 @@ void Pipeline::sample_tick() {
             ? 1.0
             : std::clamp(1.0 - deficit, config_.min_throttle, 1.0);
     source_->set_throttle(source_throttle_);
+    if (throttle_gauge_ != nullptr) {
+      throttle_gauge_->set(
+          static_cast<std::int64_t>(source_throttle_ * 1000.0));
+    }
   }
   sim_.schedule_after(config_.sample_period, [this] { sample_tick(); });
 }

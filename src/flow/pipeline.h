@@ -24,6 +24,7 @@
 
 #include "core/blocking_counter.h"
 #include "core/policies.h"
+#include "obs/metrics.h"
 #include "sim/channel.h"
 #include "sim/event.h"
 #include "sim/load_profile.h"
@@ -51,6 +52,9 @@ struct PipelineConfig {
   /// deficit), floored at `min_throttle` (DESIGN.md §7).
   bool admission_control = false;
   double min_throttle = 0.25;
+  /// Observability (DESIGN.md §8): populate the pipeline's registry with
+  /// "source.*" and per-parallel-stage "stage.<name>.*" metrics.
+  bool metrics = true;
 };
 
 class Pipeline;
@@ -138,6 +142,13 @@ class Pipeline {
   /// Current admission-control factor on the source (1.0 = unthrottled).
   double source_throttle() const { return source_throttle_; }
 
+  /// The pipeline's metrics registry (DESIGN.md §8): "source.*" for the
+  /// source splitter plus "stage.<name>.*" for every parallel stage
+  /// (splitter/merger/worker metrics and the stage policy's own, e.g.
+  /// "stage.score.policy.updates"). Empty when config.metrics is off.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   friend class PipelineBuilder;
 
@@ -166,6 +177,9 @@ class Pipeline {
   void sample_tick();
 
   PipelineConfig config_;
+  /// Declared before the stages that hold handles into it.
+  obs::MetricsRegistry metrics_;
+  obs::Gauge* throttle_gauge_ = nullptr;
   sim::Simulator sim_;
   std::vector<std::unique_ptr<Stage>> stages_;
 

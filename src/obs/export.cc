@@ -1,0 +1,74 @@
+#include "obs/export.h"
+
+#include "obs/journal.h"
+
+namespace slb::obs {
+
+std::string to_json_line(const MetricsSnapshot& snap, std::int64_t t,
+                         std::string_view kind) {
+  std::string out = "{\"t\":";
+  out += std::to_string(t);
+  out += ",\"kind\":\"";
+  out += kind;
+  out += "\",\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.entries) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    switch (v.kind) {
+      case MetricKind::kCounter:
+        out += std::to_string(v.count);
+        break;
+      case MetricKind::kGauge:
+        out += std::to_string(v.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        out += "{\"count\":";
+        out += std::to_string(v.count);
+        out += ",\"sum\":";
+        out += std::to_string(v.sum);
+        out += ",\"buckets\":[";
+        bool first_bucket = true;
+        for (std::size_t k = 0; k < v.buckets.size(); ++k) {
+          if (v.buckets[k] == 0) continue;
+          if (!first_bucket) out += ',';
+          first_bucket = false;
+          out += '[';
+          out += std::to_string(k);
+          out += ',';
+          out += std::to_string(v.buckets[k]);
+          out += ']';
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += "}}";
+  return out;
+}
+
+JsonlExporter::JsonlExporter(const MetricsRegistry* registry,
+                             const std::string& path, bool append)
+    : registry_(registry),
+      out_(path, append ? std::ios::app : std::ios::trunc) {}
+
+bool JsonlExporter::tick(std::int64_t t) {
+  if (!out_) return false;
+  const MetricsSnapshot cur = registry_->snapshot();
+  out_ << to_json_line(delta(last_, cur), t, "delta") << '\n';
+  last_ = cur;
+  return static_cast<bool>(out_);
+}
+
+bool JsonlExporter::dump(std::int64_t t) {
+  if (!out_) return false;
+  out_ << to_json_line(registry_->snapshot(), t, "snapshot") << '\n';
+  out_.flush();
+  return static_cast<bool>(out_);
+}
+
+}  // namespace slb::obs

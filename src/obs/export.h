@@ -1,0 +1,47 @@
+// JSON-lines export of registry snapshots (DESIGN.md §8).
+//
+// One line per capture: {"t":<ns>,"kind":"delta"|"snapshot","metrics":{...}}
+// with counters/gauges as integers and histograms as
+// {"count":N,"sum":S,"buckets":[[k,c],...]} (sparse bucket pairs). A
+// JsonlExporter owns the file sink: tick(now) appends the delta since the
+// previous tick (the periodic sink); dump(now) appends a full cumulative
+// snapshot (the end-of-run record). tools/chaos_soak and the bench/ext_*
+// binaries consume this format.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace slb::obs {
+
+/// Serializes one snapshot to a single JSON object line (no newline).
+/// `t` is the capture's timestamp in ns (virtual or wall — caller's
+/// clock); `kind` names the semantics ("delta" or "snapshot").
+std::string to_json_line(const MetricsSnapshot& snap, std::int64_t t,
+                         std::string_view kind);
+
+class JsonlExporter {
+ public:
+  /// Opens `path` for writing (truncates unless `append`). ok() reports
+  /// whether the sink is usable; ticks on a dead sink are no-ops.
+  JsonlExporter(const MetricsRegistry* registry, const std::string& path,
+                bool append = false);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  /// Periodic sink: appends the delta since the previous tick (the first
+  /// tick is a delta against zero, i.e. the cumulative totals so far).
+  bool tick(std::int64_t t);
+
+  /// End-of-run dump: appends a full cumulative snapshot.
+  bool dump(std::int64_t t);
+
+ private:
+  const MetricsRegistry* registry_;
+  std::ofstream out_;
+  MetricsSnapshot last_;
+};
+
+}  // namespace slb::obs

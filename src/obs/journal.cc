@@ -1,0 +1,133 @@
+#include "obs/journal.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace slb::obs {
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "null";
+  return std::string(buf, end);
+}
+
+void JsonLine::key(std::string_view k) {
+  if (!first_) out_ += ',';
+  first_ = false;
+  out_ += '"';
+  out_ += k;  // keys are code constants: no escaping needed
+  out_ += "\":";
+}
+
+JsonLine& JsonLine::str(std::string_view k, std::string_view value) {
+  key(k);
+  out_ += '"';
+  for (char c : value) {
+    if (c == '"' || c == '\\') out_ += '\\';
+    out_ += c;
+  }
+  out_ += '"';
+  return *this;
+}
+
+JsonLine& JsonLine::num(std::string_view k, std::int64_t value) {
+  key(k);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonLine& JsonLine::num(std::string_view k, std::uint64_t value) {
+  key(k);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonLine& JsonLine::real(std::string_view k, double value) {
+  key(k);
+  out_ += format_double(value);
+  return *this;
+}
+
+JsonLine& JsonLine::boolean(std::string_view k, bool value) {
+  key(k);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonLine& JsonLine::ints(std::string_view k, std::span<const int> values) {
+  key(k);
+  out_ += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out_ += ',';
+    out_ += std::to_string(values[i]);
+  }
+  out_ += ']';
+  return *this;
+}
+
+JsonLine& JsonLine::reals(std::string_view k, std::span<const double> values) {
+  key(k);
+  out_ += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out_ += ',';
+    out_ += format_double(values[i]);
+  }
+  out_ += ']';
+  return *this;
+}
+
+JsonLine& JsonLine::int_lists(std::string_view k,
+                              std::span<const std::vector<int>> values) {
+  key(k);
+  out_ += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out_ += ',';
+    out_ += '[';
+    for (std::size_t j = 0; j < values[i].size(); ++j) {
+      if (j != 0) out_ += ',';
+      out_ += std::to_string(values[i][j]);
+    }
+    out_ += ']';
+  }
+  out_ += ']';
+  return *this;
+}
+
+std::string JsonLine::finish() {
+  out_ += '}';
+  return std::move(out_);
+}
+
+void DecisionJournal::append(std::string line) {
+  for (unsigned char c : line) {
+    digest_ = (digest_ ^ c) * kFnvPrime;
+  }
+  digest_ = (digest_ ^ static_cast<unsigned char>('\n')) * kFnvPrime;
+  lines_.push_back(std::move(line));
+}
+
+std::string DecisionJournal::digest_hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest_));
+  return std::string(buf);
+}
+
+bool DecisionJournal::write_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  for (const std::string& line : lines_) out << line << '\n';
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+void DecisionJournal::clear() {
+  lines_.clear();
+  digest_ = kFnvOffset;
+}
+
+}  // namespace slb::obs

@@ -1,0 +1,80 @@
+// Controller decision journal (DESIGN.md §8).
+//
+// Every adaptation decision — observe, decay, cluster, solve, overload
+// transition, mark_down/mark_up — is recorded as one flat JSON object
+// with the inputs the controller saw (blocking rates, the weights that
+// produced them, the capacity deficit) and the outputs it chose (weight
+// vector, objective, mode). Lines are appended in decision order, so a
+// fixed-seed run serializes to a byte-stable JSON-lines document; the
+// journal maintains an FNV-1a digest incrementally, making two runs
+// comparable with a single integer and regressions pinpointable at the
+// first divergent line (tests/test_golden_trace.cc).
+//
+// Serialization is deterministic by construction: keys are emitted in
+// call order, integers exactly, and doubles with shortest-round-trip
+// std::to_chars (non-finite values degrade to JSON null).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slb::obs {
+
+/// Shortest round-trip decimal form of `v` (std::to_chars); "null" for
+/// non-finite values so journal lines stay valid JSON.
+std::string format_double(double v);
+
+/// Builder for one flat JSON object. Keys are written in call order; the
+/// caller guarantees uniqueness. finish() seals and returns the line.
+class JsonLine {
+ public:
+  JsonLine& str(std::string_view key, std::string_view value);
+  JsonLine& num(std::string_view key, std::int64_t value);
+  JsonLine& num(std::string_view key, std::uint64_t value);
+  JsonLine& real(std::string_view key, double value);
+  JsonLine& boolean(std::string_view key, bool value);
+  JsonLine& ints(std::string_view key, std::span<const int> values);
+  JsonLine& reals(std::string_view key, std::span<const double> values);
+  /// Array of arrays of ints (cluster membership lists).
+  JsonLine& int_lists(std::string_view key,
+                      std::span<const std::vector<int>> values);
+  std::string finish();
+
+ private:
+  void key(std::string_view k);
+  std::string out_ = "{";
+  bool first_ = true;
+};
+
+/// Append-only record of journal lines with an incrementally-maintained
+/// 64-bit FNV-1a digest over `line + '\n'` for every line.
+class DecisionJournal {
+ public:
+  static constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+  /// Appends one serialized JSON object (no trailing newline).
+  void append(std::string line);
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  std::size_t entries() const { return lines_.size(); }
+
+  /// Digest over everything appended so far; two byte-identical journals
+  /// have equal digests.
+  std::uint64_t digest() const { return digest_; }
+  std::string digest_hex() const;
+
+  /// Writes the journal as JSON-lines. Returns false on I/O failure.
+  bool write_jsonl(const std::string& path) const;
+
+  void clear();
+
+ private:
+  std::vector<std::string> lines_;
+  std::uint64_t digest_ = kFnvOffset;
+};
+
+}  // namespace slb::obs

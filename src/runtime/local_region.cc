@@ -19,6 +19,25 @@ LocalRegion::LocalRegion(LocalRegionConfig config,
   assert(policy_ != nullptr);
   net::ignore_sigpipe();  // dead peers must surface as EPIPE, not SIGPIPE
 
+  service_hists_.assign(static_cast<std::size_t>(config_.workers), nullptr);
+  if (config_.metrics) {
+    mc_.sent = &metrics_.counter("splitter.sent");
+    mc_.shed = &metrics_.counter("splitter.shed");
+    mc_.rerouted = &metrics_.counter("splitter.rerouted");
+    mc_.failovers = &metrics_.counter("splitter.failovers");
+    mc_.channel_failures = &metrics_.counter("splitter.channel_failures");
+    mc_.reconnects = &metrics_.counter("splitter.reconnects");
+    merger_emitted_c_ = &metrics_.counter("merger.emitted");
+    merger_gaps_c_ = &metrics_.counter("merger.gaps");
+    merger_reconnects_c_ = &metrics_.counter("merger.reconnects");
+    merger_depth_g_ = &metrics_.gauge("merger.max_depth");
+    for (int j = 0; j < config_.workers; ++j) {
+      service_hists_[static_cast<std::size_t>(j)] = &metrics_.histogram(
+          "worker." + std::to_string(j) + ".service_ns");
+    }
+    policy_->attach_metrics(metrics_, "policy.");
+  }
+
   // Topology bring-up: a listener per worker for the splitter connection,
   // one listener at the merger side for the worker->merger connections.
   net::Listener merger_listener;
@@ -46,7 +65,8 @@ LocalRegion::LocalRegion(LocalRegionConfig config,
     workers_.push_back(std::make_unique<WorkerPe>(
         j, std::move(worker_side),
         std::move(worker_to_merger[static_cast<std::size_t>(j)]),
-        config_.multiplies, config_.work_mode));
+        config_.multiplies, config_.work_mode,
+        service_hists_[static_cast<std::size_t>(j)]));
   }
   MergerFaultConfig fault;
   fault.enabled = !config_.failure_events.empty();
@@ -100,6 +120,7 @@ void LocalRegion::quarantine(int j, TimeNs now, LocalRunStats& stats) {
   // merger gap, so the remainder must not be replayed anywhere.
   pending_[ju].clear();
   ++stats.channel_failures;
+  if (mc_.channel_failures != nullptr) mc_.channel_failures->inc();
   backoff_[ju] = config_.reconnect_backoff_initial;
   next_reconnect_[ju] = now + backoff_[ju] + jitter(backoff_[ju] / 2 + 1);
   policy_->on_channel_down(j);
@@ -138,7 +159,7 @@ bool LocalRegion::try_reconnect(int j, TimeNs now, LocalRunStats& stats) {
 
     workers_[ju] = std::make_unique<WorkerPe>(
         j, std::move(worker_side), std::move(to_merger),
-        config_.multiplies, config_.work_mode);
+        config_.multiplies, config_.work_mode, service_hists_[ju]);
     workers_[ju]->set_load_multiplier(load_mult_[ju]);
     senders_[ju]->rebind(splitter_side.get());
     to_workers_[ju] = std::move(splitter_side);
@@ -153,6 +174,7 @@ bool LocalRegion::try_reconnect(int j, TimeNs now, LocalRunStats& stats) {
   chan_down_[ju] = 0;
   backoff_[ju] = 0;
   ++stats.reconnects;
+  if (mc_.reconnects != nullptr) mc_.reconnects->inc();
   policy_->on_channel_up(j);
   return true;
 }
@@ -313,6 +335,8 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
         }
       }
 
+      sync_merger_metrics();
+
       if (sample_hook_) {
         LocalSample sample;
         sample.elapsed = now - start;
@@ -341,6 +365,7 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
           gap_queue.emplace_back(next_seq, drop);
           next_seq += drop;
           stats.shed += drop;
+          if (mc_.shed != nullptr) mc_.shed->inc(drop);
           next_release +=
               static_cast<DurationNs>(drop) * config_.source_interval;
           flush_gaps(now);
@@ -380,6 +405,7 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
         continue;
       }
       ++stats.failovers;
+      if (mc_.failovers != nullptr) mc_.failovers->inc();
       j = live;
     }
 
@@ -432,7 +458,10 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
         }
         target = j;
       }
-      if (target != j) ++stats.rerouted;
+      if (target != j) {
+        ++stats.rerouted;
+        if (mc_.rerouted != nullptr) mc_.rerouted->inc();
+      }
     } else {
       bool delivered = false;
       for (int step = 0; step < n && !delivered; ++step) {
@@ -441,7 +470,10 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
         if (chan_down_[ku]) continue;
         if (senders_[ku]->send_all(wire.data(), wire.size())) {
           delivered = true;
-          if (k != j) ++stats.failovers;
+          if (k != j) {
+            ++stats.failovers;
+            if (mc_.failovers != nullptr) mc_.failovers->inc();
+          }
         } else {
           // Peer vanished mid-send: the dead worker never decoded the
           // partial frame, so the *whole* frame fails over to the next
@@ -452,6 +484,7 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
       if (!delivered) continue;  // everyone is down; retry after events
     }
     ++stats.sent;
+    if (mc_.sent != nullptr) mc_.sent->inc();
     ++next_seq;
     if (config_.source_interval > 0) {
       next_release += config_.source_interval;
@@ -490,6 +523,7 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
   for (auto& w : workers_) w->join();
   merger_->begin_shutdown();
   merger_->join();
+  sync_merger_metrics();
 
   stats.elapsed = monotonic_now() - start;
   stats.emitted = merger_->emitted();
@@ -499,6 +533,27 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
   stats.blocked = counters_.sample();
   stats.final_weights = policy_->weights();
   return stats;
+}
+
+void LocalRegion::sync_merger_metrics() {
+  if (merger_emitted_c_ == nullptr || merger_ == nullptr) return;
+  const std::uint64_t emitted = merger_->emitted();
+  const std::uint64_t gaps = merger_->gaps();
+  const std::uint64_t reconnects = merger_->reconnects();
+  if (emitted > merger_emitted_seen_) {
+    merger_emitted_c_->inc(emitted - merger_emitted_seen_);
+    merger_emitted_seen_ = emitted;
+  }
+  if (gaps > merger_gaps_seen_) {
+    merger_gaps_c_->inc(gaps - merger_gaps_seen_);
+    merger_gaps_seen_ = gaps;
+  }
+  if (reconnects > merger_reconnects_seen_) {
+    merger_reconnects_c_->inc(reconnects - merger_reconnects_seen_);
+    merger_reconnects_seen_ = reconnects;
+  }
+  merger_depth_g_->set(
+      static_cast<std::int64_t>(merger_->max_queue_depth()));
 }
 
 }  // namespace slb::rt

@@ -17,6 +17,7 @@
 
 #include "core/blocking_counter.h"
 #include "core/policies.h"
+#include "obs/metrics.h"
 #include "runtime/merger_pe.h"
 #include "runtime/worker_pe.h"
 #include "transport/instrumented_sender.h"
@@ -99,6 +100,13 @@ struct LocalRegionConfig {
   bool watchdog = false;
   double watchdog_block_budget = 0.9;
   int watchdog_periods = 8;
+
+  // --- Observability (DESIGN.md §8) ------------------------------------
+
+  /// Wire the region's MetricsRegistry into the splitter loop, worker PEs
+  /// (service-time histograms), merger sync, and the policy. Counters are
+  /// relaxed atomics, safe across PE threads.
+  bool metrics = true;
 };
 
 /// Result of one run.
@@ -165,6 +173,14 @@ class LocalRegion {
   MergerPe& merger() { return *merger_; }
   WorkerPe& worker(int j) { return *workers_[static_cast<std::size_t>(j)]; }
 
+  /// The region's metrics registry (DESIGN.md §8): "splitter.*" counters
+  /// from the splitter loop, "worker.<j>.service_ns" histograms recorded
+  /// on the PE threads, "merger.*" synced from the merger PE's atomics
+  /// once per sample period, "policy.*" via the policy's attach_metrics.
+  /// Empty when config.metrics is off.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   /// Drains connection k's userspace remainder buffer (re-routing mode).
   /// Non-blocking mode sends what the kernel accepts; blocking mode
@@ -186,9 +202,34 @@ class LocalRegion {
   /// Deterministic jitter in [0, limit) for reconnect backoff.
   DurationNs jitter(DurationNs limit);
 
+  /// Syncs the merger PE's atomics into the registry (delta-increments
+  /// the counters); called per sample period and at end of run.
+  void sync_merger_metrics();
+
   LocalRegionConfig config_;
   std::unique_ptr<SplitPolicy> policy_;
   BlockingCounterSet counters_;
+  /// Declared before the worker PEs holding histogram handles into it.
+  obs::MetricsRegistry metrics_;
+  /// Splitter-loop counters (null when config.metrics is off).
+  struct SplitterCounters {
+    obs::Counter* sent = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* rerouted = nullptr;
+    obs::Counter* failovers = nullptr;
+    obs::Counter* channel_failures = nullptr;
+    obs::Counter* reconnects = nullptr;
+  } mc_;
+  /// Merger-sync handles and the last values already folded in.
+  obs::Counter* merger_emitted_c_ = nullptr;
+  obs::Counter* merger_gaps_c_ = nullptr;
+  obs::Counter* merger_reconnects_c_ = nullptr;
+  obs::Gauge* merger_depth_g_ = nullptr;
+  std::uint64_t merger_emitted_seen_ = 0;
+  std::uint64_t merger_gaps_seen_ = 0;
+  std::uint64_t merger_reconnects_seen_ = 0;
+  /// Per-worker service histograms, passed to every (re)spawned PE.
+  std::vector<obs::Histogram*> service_hists_;
   std::vector<std::vector<std::uint8_t>> pending_;
 
   std::vector<net::Fd> to_workers_;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "transport/socket.h"
 
 namespace slb::rt {
@@ -26,8 +27,12 @@ enum class WorkMode { kSpin, kTimed };
 class WorkerPe {
  public:
   /// Takes ownership of both sockets; starts the thread immediately.
+  /// `service_ns` (optional) is a registry histogram recording each
+  /// processed tuple's measured service time; it must outlive the PE and
+  /// is a ctor parameter because the thread starts here (DESIGN.md §8).
   WorkerPe(int id, net::Fd from_splitter, net::Fd to_merger,
-           long multiplies, WorkMode mode = WorkMode::kSpin);
+           long multiplies, WorkMode mode = WorkMode::kSpin,
+           obs::Histogram* service_ns = nullptr);
 
   ~WorkerPe();
 
@@ -74,6 +79,7 @@ class WorkerPe {
   std::atomic<bool> fast_drain_{false};
   std::atomic<bool> killed_{false};
   std::atomic<std::uint64_t> processed_{0};
+  obs::Histogram* service_ns_ = nullptr;
   std::thread thread_;
 };
 

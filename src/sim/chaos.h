@@ -1,0 +1,34 @@
+// Seeded chaos-plan generation shared by tools/chaos_soak and the
+// randomized invariant tests: one seed expands deterministically (via the
+// repo's xoshiro256++) into a region shape, an external-load schedule with
+// overload bursts, a crash/recover/stall schedule, and sometimes an
+// open-loop source with shedding watermarks. Extracted from chaos_soak so
+// ctest can replay the exact same plan space without forking the binary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/fault.h"
+#include "sim/load_profile.h"
+#include "sim/region.h"
+#include "util/time.h"
+
+namespace slb::sim {
+
+struct ChaosPlan {
+  RegionConfig region;
+  LoadProfile load;
+  std::vector<FaultEvent> faults;
+  /// Workers crashed without a scheduled recovery (always < workers, so
+  /// the run can make progress).
+  int permanently_dead = 0;
+};
+
+/// Expands `seed` into a full chaos plan for a run of `duration`. Pure:
+/// the same (seed, duration) always yields the same plan, which is what
+/// makes soak failures replayable and the golden/conservation tests
+/// deterministic.
+ChaosPlan make_chaos_plan(std::uint64_t seed, DurationNs duration);
+
+}  // namespace slb::sim

@@ -33,6 +33,13 @@ bool Merger::emit(int from, const Tuple& t) {
   if (downstream_ != nullptr && !downstream_->offer(0, t)) return false;
   ++emitted_;
   ++emitted_from_[static_cast<std::size_t>(from)];
+  if (metrics_.emitted != nullptr) metrics_.emitted->inc();
+  if (metrics_.reorder_depth != nullptr) {
+    // Tuples parked behind the sequence gate right now (the emitting one
+    // is still at its queue head, so subtract it). queued_total_ keeps
+    // this O(1) instead of summing every queue per emit.
+    metrics_.reorder_depth->record(queued_total_ > 0 ? queued_total_ - 1 : 0);
+  }
   if (on_emit_) on_emit_(t);
   return true;
 }
@@ -44,6 +51,7 @@ bool Merger::try_push(int j, Tuple t) {
   // (parallel sinks): the same machinery with no sequence gating — the
   // queue only holds tuples the downstream refused.
   q.push(t);
+  ++queued_total_;
   drain();
   return true;
 }
@@ -52,7 +60,7 @@ void Merger::note_lost(std::uint64_t seq) {
   if (!ordered_) return;  // no sequence gating to un-stick
   if (seq < expected_) return;  // already emitted (cannot happen for real
                                 // losses, but keeps the call idempotent)
-  lost_.insert(seq);
+  lost_.emplace(seq, sim_->now());
   drain();
 }
 
@@ -68,10 +76,15 @@ void Merger::drain() {
     progressed = false;
     // Skip sequences that died with a worker: the region told us they
     // will never arrive, so gating on them would wedge the output.
-    while (!lost_.empty() && *lost_.begin() == expected_) {
+    while (!lost_.empty() && lost_.begin()->first == expected_) {
+      if (metrics_.gap_wait_ns != nullptr) {
+        metrics_.gap_wait_ns->record(
+            static_cast<std::uint64_t>(sim_->now() - lost_.begin()->second));
+      }
       lost_.erase(lost_.begin());
       ++expected_;
       ++gaps_;
+      if (metrics_.gaps != nullptr) metrics_.gaps->inc();
       progressed = true;
     }
     for (std::size_t j = 0; j < n; ++j) {
@@ -83,6 +96,7 @@ void Merger::drain() {
             break;
           }
           (void)q.pop();
+          --queued_total_;
           freed[j] = true;
           ++expected_;
           progressed = true;
@@ -91,6 +105,7 @@ void Merger::drain() {
       } else {
         while (!q.empty() && emit(static_cast<int>(j), q.front())) {
           (void)q.pop();
+          --queued_total_;
           freed[j] = true;
           progressed = true;
         }

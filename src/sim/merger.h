@@ -11,15 +11,25 @@
 
 #include <cstdint>
 #include <functional>
-#include <set>
+#include <map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/event.h"
 #include "sim/queues.h"
 #include "sim/sink.h"
 #include "sim/tuple.h"
+#include "util/time.h"
 
 namespace slb::sim {
+
+/// Registry handles for the merger (DESIGN.md §8). All pointers optional.
+struct MergerMetrics {
+  obs::Counter* emitted = nullptr;        // tuples released downstream
+  obs::Counter* gaps = nullptr;           // lost sequences skipped over
+  obs::Histogram* reorder_depth = nullptr;  // queued tuples at each emit
+  obs::Histogram* gap_wait_ns = nullptr;  // declared-lost -> skipped delay
+};
 
 class Merger : public TupleSink {
  public:
@@ -67,6 +77,17 @@ class Merger : public TupleSink {
   /// Sequence numbers skipped because their tuples were lost to failures.
   std::uint64_t gaps() const { return gaps_; }
 
+  /// Sequences declared lost (note_lost) but not yet skipped over — the
+  /// merger is still gating earlier sequences. Conservation accounting:
+  /// sent + shed == emitted + gaps + in_flight + lost_pending holds at
+  /// every instant (tests/test_conservation.cc).
+  std::uint64_t lost_pending() const {
+    return static_cast<std::uint64_t>(lost_.size());
+  }
+
+  /// Observability: attach registry handles (see MergerMetrics).
+  void set_metrics(const MergerMetrics& metrics) { metrics_ = metrics; }
+
   std::uint64_t emitted() const { return emitted_; }
   std::uint64_t expected_seq() const { return expected_; }
   std::size_t queue_size(int j) const {
@@ -87,11 +108,17 @@ class Merger : public TupleSink {
 
   Simulator* sim_;
   std::vector<BoundedFifo<Tuple>> queues_;
+  /// Tuples across all reorder queues (kept in step with push/pop so the
+  /// per-emit depth metric is O(1)).
+  std::size_t queued_total_ = 0;
   std::vector<std::function<void()>> on_space_;
   std::function<void(const Tuple&)> on_emit_;
   TupleSink* downstream_ = nullptr;
   std::vector<std::uint64_t> emitted_from_;
-  std::set<std::uint64_t> lost_;
+  /// Sequence -> time it was declared lost; the delay until the skip is
+  /// the gap wait (how long the loss gated the output).
+  std::map<std::uint64_t, TimeNs> lost_;
+  MergerMetrics metrics_;
   std::uint64_t expected_ = 0;
   std::uint64_t emitted_ = 0;
   std::uint64_t gaps_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 namespace slb::sim {
 
@@ -44,6 +45,7 @@ Region::Region(RegionConfig config, std::unique_ptr<SplitPolicy> policy,
     // instead of gating on tuples that will never arrive.
     const auto lost = [this](const Tuple& t) {
       ++lost_tuples_;
+      if (lost_counter_ != nullptr) lost_counter_->inc();
       merger_->note_lost(t.seq);
     };
     channels_.back()->set_on_lost(lost);
@@ -70,6 +72,37 @@ Region::Region(RegionConfig config, std::unique_ptr<SplitPolicy> policy,
 
   prev_cumulative_.assign(static_cast<std::size_t>(config_.workers), 0);
   last_rates_.assign(static_cast<std::size_t>(config_.workers), 0.0);
+
+  if (config_.metrics) {
+    SplitterMetrics sm;
+    sm.sent = &metrics_.counter("splitter.sent");
+    sm.blocks = &metrics_.counter("splitter.blocks");
+    sm.block_ns = &metrics_.histogram("splitter.block_ns");
+    sm.failovers = &metrics_.counter("splitter.failovers");
+    sm.rerouted = &metrics_.counter("splitter.rerouted");
+    sm.shed = &metrics_.counter("splitter.shed");
+    splitter_->set_metrics(sm);
+
+    MergerMetrics mm;
+    mm.emitted = &metrics_.counter("merger.emitted");
+    mm.gaps = &metrics_.counter("merger.gaps");
+    mm.reorder_depth = &metrics_.histogram("merger.reorder_depth");
+    mm.gap_wait_ns = &metrics_.histogram("merger.gap_wait_ns");
+    merger_->set_metrics(mm);
+
+    for (int j = 0; j < config_.workers; ++j) {
+      workers_[static_cast<std::size_t>(j)]->set_service_histogram(
+          &metrics_.histogram("worker." + std::to_string(j) +
+                              ".service_ns"));
+    }
+
+    throttle_gauge_ = &metrics_.gauge("region.throttle_m");
+    throttle_gauge_->set(1000);
+    watchdog_gauge_ = &metrics_.gauge("region.watchdog_stage");
+    lost_counter_ = &metrics_.counter("region.lost_tuples");
+
+    policy_->attach_metrics(metrics_, "policy.");
+  }
 
   merger_->set_on_emit([this](const Tuple& t) {
     const std::uint64_t emitted = merger_->emitted();
@@ -174,6 +207,9 @@ void Region::overload_tick() {
     }
     if (watchdog_stage_ >= 1) factor = config_.min_throttle;
     splitter_->set_throttle(factor);
+    if (throttle_gauge_ != nullptr) {
+      throttle_gauge_->set(static_cast<std::int64_t>(factor * 1000.0));
+    }
   }
 
   if (!config_.watchdog) return;
@@ -198,6 +234,7 @@ void Region::overload_tick() {
 void Region::watchdog_escalate() {
   if (watchdog_stage_ >= 3) return;
   ++watchdog_stage_;
+  if (watchdog_gauge_ != nullptr) watchdog_gauge_->set(watchdog_stage_);
   switch (watchdog_stage_) {
     case 1:
       // Forced throttle: applied by overload_tick() on closed-loop
@@ -224,6 +261,7 @@ void Region::watchdog_unwind() {
   }
   splitter_->set_throttle(1.0);
   watchdog_stage_ = 0;
+  if (watchdog_gauge_ != nullptr) watchdog_gauge_->set(0);
 }
 
 void Region::run_for(DurationNs duration) {

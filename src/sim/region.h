@@ -12,6 +12,7 @@
 
 #include "core/blocking_counter.h"
 #include "core/policies.h"
+#include "obs/metrics.h"
 #include "sim/channel.h"
 #include "sim/event.h"
 #include "sim/fault.h"
@@ -94,6 +95,14 @@ struct RegionConfig {
   bool watchdog = false;
   double watchdog_block_budget = 0.9;
   int watchdog_periods = 8;
+
+  // --- Observability (DESIGN.md §8) ------------------------------------
+
+  /// Wire the region's MetricsRegistry into every component (splitter,
+  /// merger, workers, policy). Off = no per-tuple metric updates at all
+  /// (the registry stays empty); used by bench/micro_core to measure the
+  /// instrumentation overhead.
+  bool metrics = true;
 };
 
 /// Result of run_until_emitted.
@@ -196,6 +205,13 @@ class Region {
   const RegionConfig& config() const { return config_; }
   int workers() const { return config_.workers; }
 
+  /// The region's metrics registry (DESIGN.md §8). Populated at
+  /// construction when config.metrics is on: "splitter.*", "merger.*",
+  /// "worker.<j>.service_ns", "policy.*" (via the policy's attach_metrics),
+  /// "region.*" gauges and overload counters. Empty when metrics are off.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
   std::uint64_t emitted() const { return merger_->emitted(); }
 
   /// Tuples emitted during the most recent completed sample period —
@@ -229,6 +245,8 @@ class Region {
   std::unique_ptr<SplitPolicy> policy_;
   LoadProfile load_;
   HostModel hosts_;
+  /// Declared before the components that hold handles into it.
+  obs::MetricsRegistry metrics_;
 
   std::unique_ptr<Simulator> owned_sim_;  // null when externally driven
   Simulator* sim_;
@@ -259,6 +277,11 @@ class Region {
   int watchdog_stage_ = 0;
   int watchdog_streak_ = 0;
   int calm_streak_ = 0;
+
+  /// Region-level gauges (null when config.metrics is off).
+  obs::Gauge* throttle_gauge_ = nullptr;
+  obs::Gauge* watchdog_gauge_ = nullptr;
+  obs::Counter* lost_counter_ = nullptr;
 
   struct EmitTrigger {
     std::uint64_t threshold;

@@ -74,6 +74,7 @@ void Splitter::shed_backlog() {
   while (backlog > shed_low_) {
     const std::uint64_t seq = next_seq_++;
     ++shed_;
+    if (metrics_.shed != nullptr) metrics_.shed->inc();
     next_release_ += source_interval_;
     --backlog;
     if (on_shed_) on_shed_(seq);
@@ -109,6 +110,7 @@ void Splitter::next_send() {
       return;
     }
     ++failovers_;
+    if (metrics_.failovers != nullptr) metrics_.failovers->inc();
     j = live;
   }
 
@@ -124,6 +126,7 @@ void Splitter::next_send() {
       if (!chan_up_[static_cast<std::size_t>(k)]) continue;
       if (!channels_[static_cast<std::size_t>(k)]->send_full()) {
         ++rerouted_;
+        if (metrics_.rerouted != nullptr) metrics_.rerouted->inc();
         do_send(k);
         return;
       }
@@ -135,6 +138,7 @@ void Splitter::next_send() {
   blocked_on_ = j;
   block_start_ = sim_->now();
   ++blocks_[static_cast<std::size_t>(j)];
+  if (metrics_.blocks != nullptr) metrics_.blocks->inc();
 }
 
 void Splitter::do_send(int j) {
@@ -152,6 +156,7 @@ void Splitter::do_send(int j) {
   channels_[static_cast<std::size_t>(j)]->push_send(t);
   ++sent_[static_cast<std::size_t>(j)];
   ++total_sent_;
+  if (metrics_.sent != nullptr) metrics_.sent->inc();
   DurationNs gap = send_overhead_;
   if (throttle_ < 1.0) {
     // Admission control: stretch the per-send overhead so the closed-loop
@@ -179,6 +184,10 @@ void Splitter::set_channel_up(int j, bool up) {
       // real splitter's timed select returns with an error here) and
       // move on to a survivor immediately.
       counters_->at(sj).add(sim_->now() - block_start_);
+      if (metrics_.block_ns != nullptr) {
+        metrics_.block_ns->record(
+            static_cast<std::uint64_t>(sim_->now() - block_start_));
+      }
       blocked_on_ = -1;
       sim_->schedule_after(0, [this] { next_send(); });
     }
@@ -195,6 +204,10 @@ void Splitter::on_send_space(int j) {
   if (channels_[static_cast<std::size_t>(j)]->send_full()) return;
   counters_->at(static_cast<std::size_t>(j))
       .add(sim_->now() - block_start_);
+  if (metrics_.block_ns != nullptr) {
+    metrics_.block_ns->record(
+        static_cast<std::uint64_t>(sim_->now() - block_start_));
+  }
   blocked_on_ = -1;
   do_send(j);
 }

@@ -23,11 +23,24 @@
 
 #include "core/blocking_counter.h"
 #include "core/policies.h"
+#include "obs/metrics.h"
 #include "sim/channel.h"
 #include "sim/event.h"
 #include "util/time.h"
 
 namespace slb::sim {
+
+/// Registry handles for the splitter's hot-path events (DESIGN.md §8).
+/// All pointers optional; a null member disables that metric. The
+/// pointed-to registry must outlive the splitter.
+struct SplitterMetrics {
+  obs::Counter* sent = nullptr;       // tuples pushed to any channel
+  obs::Counter* blocks = nullptr;     // distinct blocking episodes
+  obs::Histogram* block_ns = nullptr; // per-episode blocked duration
+  obs::Counter* failovers = nullptr;  // diverted off quarantined channels
+  obs::Counter* rerouted = nullptr;   // Section 4.4 block-time diversions
+  obs::Counter* shed = nullptr;       // source tuples dropped by watermarks
+};
 
 class Splitter {
  public:
@@ -106,6 +119,11 @@ class Splitter {
   /// Total tuples shed at the source so far.
   std::uint64_t shed() const { return shed_; }
 
+  /// Observability: attach registry handles (see SplitterMetrics). The
+  /// splitter keeps updating its own counters either way; metrics are a
+  /// parallel, thread-safe view for exporters.
+  void set_metrics(const SplitterMetrics& metrics) { metrics_ = metrics; }
+
  private:
   void next_send();
   void do_send(int j);
@@ -126,6 +144,7 @@ class Splitter {
   std::vector<Channel*> channels_;
   BlockingCounterSet* counters_ = nullptr;
 
+  SplitterMetrics metrics_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t total_sent_ = 0;
   std::uint64_t rerouted_ = 0;

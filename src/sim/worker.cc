@@ -58,6 +58,9 @@ void Worker::poll() {
     }
     const auto service = static_cast<DurationNs>(
         std::llround(static_cast<double>(base_cost_) * factor));
+    if (service_hist_ != nullptr) {
+      service_hist_->record(static_cast<std::uint64_t>(service));
+    }
     sim_->schedule_after(service, [this, t, epoch = epoch_] {
       if (epoch != epoch_) {
         // The PE died while this tuple was in service.

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/metrics.h"
 #include "sim/channel.h"
 #include "sim/event.h"
 #include "sim/host.h"
@@ -67,6 +68,10 @@ class Worker {
   /// The effective per-tuple service time if a tuple started now.
   DurationNs current_service_time() const;
 
+  /// Observability: record every started tuple's service time (ns) into
+  /// `h` (DESIGN.md §8). Pass nullptr to detach.
+  void set_service_histogram(obs::Histogram* h) { service_hist_ = h; }
+
  private:
   void finish(Tuple t);
 
@@ -85,6 +90,7 @@ class Worker {
   bool down_ = false;
   Tuple held_{};
   std::uint64_t processed_ = 0;
+  obs::Histogram* service_hist_ = nullptr;
   std::function<void(const Tuple&)> on_lost_;
   /// Bumped by crash(): a finish event from a previous life reports its
   /// tuple lost instead of forwarding it.

@@ -27,9 +27,13 @@ class RunningStats {
   std::size_t count() const { return count_; }
   double mean() const { return count_ ? mean_ : 0.0; }
 
-  /// Population variance; 0 with fewer than two samples.
+  /// Population variance; 0 with fewer than two samples. Welford's m2 can
+  /// drift a hair negative under catastrophic cancellation; clamp so
+  /// stddev() never takes sqrt of a negative.
   double variance() const {
-    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+    if (count_ < 2) return 0.0;
+    const double v = m2_ / static_cast<double>(count_);
+    return v > 0.0 ? v : 0.0;
   }
 
   double stddev() const { return std::sqrt(variance()); }
@@ -66,9 +70,13 @@ class SampleSet {
   }
 
   /// Exact quantile by linear interpolation between order statistics.
-  /// @param q in [0, 1].
+  /// @param q nominally in [0, 1]; out-of-range (including NaN) is
+  ///   clamped rather than asserted — histogram/report code feeds
+  ///   computed q values here, and a degenerate ratio must not abort a
+  ///   run. 0 samples -> 0; 1 sample -> that sample for every q.
   double quantile(double q) {
-    assert(q >= 0.0 && q <= 1.0);
+    if (!(q >= 0.0)) q = 0.0;  // also catches NaN
+    if (q > 1.0) q = 1.0;
     if (samples_.empty()) return 0.0;
     sort();
     const double pos = q * static_cast<double>(samples_.size() - 1);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -197,6 +198,50 @@ TEST(SampleSet, SingleElement) {
   s.add(7.0);
   EXPECT_DOUBLE_EQ(s.quantile(0.3), 7.0);
   EXPECT_DOUBLE_EQ(s.median(), 7.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceIsZero) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStats, VarianceNeverNegative) {
+  // Catastrophic cancellation regime: large offset, tiny spread. Welford's
+  // m2 can drift a hair below zero; variance()/stddev() must clamp.
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e15 + (i % 2 == 0 ? 1e-3 : -1e-3));
+  EXPECT_GE(s.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(s.stddev()));
+}
+
+TEST(SampleSet, EmptyQuantileIsZero) {
+  SampleSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleSet, OutOfRangeAndNanQuantilesClamp) {
+  SampleSet s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(-0.5), 1.0);   // clamps to q=0
+  EXPECT_DOUBLE_EQ(s.quantile(2.0), 10.0);   // clamps to q=1
+  EXPECT_DOUBLE_EQ(s.quantile(std::numeric_limits<double>::quiet_NaN()),
+                   1.0);                     // NaN treated as q=0
+}
+
+TEST(SampleSet, QuantileAfterLateAddResorts) {
+  SampleSet s;
+  s.add(5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  s.add(0.5);  // must invalidate the sorted cache
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
 }
 
 // ----------------------------------------------------------------- csv --

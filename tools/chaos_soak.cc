@@ -17,12 +17,14 @@
 //
 // Usage:
 //   chaos_soak [--seed S] [--seeds K] [--mode sim|rt|both]
-//              [--duration-ms D] [--verify-replay]
+//              [--duration-ms D] [--verify-replay] [--metrics-out PATH]
 //
 // Runs K seeds starting at S (default 3 starting at 1) and exits
 // non-zero on the first invariant violation. `--verify-replay` runs each
-// sim seed twice and compares signatures. The short fixed-seed ctest
-// variants live in tools/CMakeLists.txt.
+// sim seed twice and compares signatures. `--metrics-out` streams each
+// sim run's registry as JSON lines (per-sample deltas plus an end-of-run
+// snapshot, DESIGN.md §8). The short fixed-seed ctest variants live in
+// tools/CMakeLists.txt.
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -35,7 +37,9 @@
 
 #include "core/policies.h"
 #include "core/types.h"
+#include "obs/export.h"
 #include "runtime/local_region.h"
+#include "sim/chaos.h"
 #include "sim/region.h"
 #include "util/rng.h"
 #include "util/time.h"
@@ -61,90 +65,37 @@ ControllerConfig protected_controller() {
 
 // --- simulator soak ----------------------------------------------------
 
-struct SimPlan {
-  sim::RegionConfig region;
-  sim::LoadProfile load;
-  std::vector<sim::FaultEvent> faults;
-  int permanently_dead = 0;
-};
-
-SimPlan make_sim_plan(std::uint64_t seed, DurationNs duration) {
-  Rng rng(seed);
-  SimPlan plan;
-  const int workers = static_cast<int>(2 + rng.below(4));  // 2..5
-  plan.region.workers = workers;
-  plan.region.base_cost = micros(static_cast<long>(4 + rng.below(8)));
-  plan.region.send_overhead = 500;
-  plan.region.sample_period = millis(5);
-  plan.region.admission_control = true;
-  plan.region.watchdog = true;
-  plan.region.watchdog_periods = 6;
-
-  if (rng.chance(0.5)) {
-    // Open-loop source offered at 1.5–3x of nominal capacity, with
-    // shedding armed. (Nominal capacity ignores load bursts, so bursts
-    // push the region even deeper into infeasibility.)
-    const double over = rng.uniform(1.5, 3.0);
-    plan.region.source_interval = static_cast<DurationNs>(
-        static_cast<double>(plan.region.base_cost) / (workers * over));
-    const std::uint64_t high = 64 + rng.below(192);
-    plan.region.shed_high_watermark = high;
-    plan.region.shed_low_watermark = high / 2;
-  }
-
-  // Overload bursts: all workers slowed together so no reallocation can
-  // restore feasibility — the saturation detector's target regime.
-  plan.load = sim::LoadProfile(workers);
-  const int bursts = static_cast<int>(1 + rng.below(3));
-  for (int b = 0; b < bursts; ++b) {
-    const TimeNs at = static_cast<TimeNs>(rng.below(
-        static_cast<std::uint64_t>(duration * 3 / 4)));
-    const DurationNs len =
-        millis(static_cast<long>(20 + rng.below(60)));
-    const double mult = rng.uniform(2.0, 8.0);
-    for (int j = 0; j < workers; ++j) {
-      plan.load.add_step(j, at, mult);
-      plan.load.add_step(j, at + len, 1.0);
-    }
-  }
-
-  // Fault schedule: crashes with optional recovery (at most workers-1
-  // permanent deaths so the run can always make progress), plus stalls.
-  for (int j = 0; j < workers; ++j) {
-    if (rng.chance(0.4)) {
-      const TimeNs at = static_cast<TimeNs>(
-          millis(10) + rng.below(static_cast<std::uint64_t>(duration / 2)));
-      plan.faults.push_back({sim::FaultKind::kWorkerCrash, j, at, 0});
-      if (rng.chance(0.7) || plan.permanently_dead + 1 >= workers) {
-        const TimeNs back = at + millis(static_cast<long>(
-                                     20 + rng.below(80)));
-        plan.faults.push_back({sim::FaultKind::kWorkerRecover, j, back, 0});
-      } else {
-        ++plan.permanently_dead;
-      }
-    } else if (rng.chance(0.3)) {
-      const TimeNs at = static_cast<TimeNs>(
-          millis(5) + rng.below(static_cast<std::uint64_t>(duration / 2)));
-      plan.faults.push_back({sim::FaultKind::kChannelStall, j, at,
-                             millis(static_cast<long>(5 + rng.below(20)))});
-    }
-  }
-  return plan;
-}
+// Plan generation lives in sim/chaos.{h,cc} so the randomized invariant
+// tests replay the exact same plan space; chaos_soak is now just the
+// driver around it.
 
 struct SimOutcome {
   std::vector<std::uint64_t> signature;
   bool invariants_ok = true;
 };
 
-SimOutcome run_sim_once(std::uint64_t seed, DurationNs duration) {
-  const SimPlan plan = make_sim_plan(seed, duration);
+SimOutcome run_sim_once(std::uint64_t seed, DurationNs duration,
+                        const std::string& metrics_out) {
+  const sim::ChaosPlan plan = sim::make_chaos_plan(seed, duration);
   const int workers = plan.region.workers;
   sim::Region region(plan.region,
                      std::make_unique<LoadBalancingPolicy>(
                          workers, protected_controller()),
                      plan.load);
   for (const sim::FaultEvent& f : plan.faults) region.inject_fault(f);
+
+  std::unique_ptr<obs::JsonlExporter> exporter;
+  if (!metrics_out.empty()) {
+    // One file per run, appended across seeds: per-sample deltas plus an
+    // end-of-run snapshot.
+    exporter = std::make_unique<obs::JsonlExporter>(
+        &region.metrics(), metrics_out, /*append=*/true);
+    if (!exporter->ok()) {
+      std::fprintf(stderr, "chaos soak: cannot open %s\n",
+                   metrics_out.c_str());
+      exporter.reset();
+    }
+  }
 
   SimOutcome out;
   std::uint64_t prev_gaps = 0;
@@ -161,6 +112,7 @@ SimOutcome run_sim_once(std::uint64_t seed, DurationNs duration) {
     const std::uint64_t gaps = r.merger().gaps();
     if (gaps < prev_gaps) gaps_monotone = false;
     prev_gaps = gaps;
+    if (exporter) exporter->tick(r.now());
   });
 
   std::uint64_t emitted_mid = 0;
@@ -168,6 +120,7 @@ SimOutcome run_sim_once(std::uint64_t seed, DurationNs duration) {
   region.run_for(duration / 2);
   emitted_mid = region.emitted();
   region.run_for(duration - duration / 2);
+  if (exporter) exporter->dump(region.now());
 
   check(weights_ok, seed, "sim: weights left the simplex");
   check(gaps_monotone, seed, "sim: merger gap count regressed");
@@ -216,10 +169,10 @@ SimOutcome run_sim_once(std::uint64_t seed, DurationNs duration) {
 }
 
 void run_sim_seed(std::uint64_t seed, DurationNs duration,
-                  bool verify_replay) {
-  const SimOutcome first = run_sim_once(seed, duration);
+                  bool verify_replay, const std::string& metrics_out) {
+  const SimOutcome first = run_sim_once(seed, duration, metrics_out);
   if (verify_replay) {
-    const SimOutcome second = run_sim_once(seed, duration);
+    const SimOutcome second = run_sim_once(seed, duration, metrics_out);
     check(first.signature == second.signature, seed,
           "sim: replay diverged (same seed, different signature)");
   }
@@ -319,6 +272,7 @@ int main(int argc, char** argv) {
   std::string mode = "both";
   long duration_ms = 0;  // 0 = per-mode default
   bool verify_replay = false;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -334,11 +288,13 @@ int main(int argc, char** argv) {
       duration_ms = std::atol(value());
     } else if (arg == "--verify-replay") {
       verify_replay = true;
+    } else if (arg == "--metrics-out") {
+      metrics_out = value();
     } else {
       std::fprintf(stderr,
                    "usage: chaos_soak [--seed S] [--seeds K] "
                    "[--mode sim|rt|both] [--duration-ms D] "
-                   "[--verify-replay]\n");
+                   "[--verify-replay] [--metrics-out PATH]\n");
       return 2;
     }
   }
@@ -351,7 +307,7 @@ int main(int argc, char** argv) {
     if (mode == "sim" || mode == "both") {
       slb::run_sim_seed(
           s, slb::millis(duration_ms > 0 ? duration_ms : 400),
-          verify_replay);
+          verify_replay, metrics_out);
     }
     if (mode == "rt" || mode == "both") {
       slb::run_rt_seed(
