@@ -61,9 +61,9 @@ Outcome run_one(const std::string& name, bool protect, DurationNs duration) {
   ControllerConfig ctrl;
   if (protect) {
     ctrl.enable_overload_protection = true;
-    cfg.shed_high_watermark = 128;
-    cfg.shed_low_watermark = 64;
-    cfg.watchdog = true;
+    cfg.protection.shed_high_watermark = 128;
+    cfg.protection.shed_low_watermark = 64;
+    cfg.protection.watchdog = true;
   }
   std::unique_ptr<SplitPolicy> policy;
   if (name == "RR") {

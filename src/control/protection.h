@@ -1,0 +1,84 @@
+// Overload-protection configuration shared by every substrate
+// (DESIGN.md §7, §9). One parallel region — simulated, embedded in a
+// flow pipeline, or running over real loopback TCP — protects itself
+// with the same three mechanisms, tuned by the same knobs:
+//
+//   * closed-loop admission control (throttle the source while the
+//     policy declares overload),
+//   * open-loop watermark load shedding (drop source backlog, with
+//     exact gap accounting downstream),
+//   * the watchdog escalation ladder (forced throttle -> tightened
+//     shedding -> safe-mode WRR, with full unwind on sustained calm).
+//
+// Before PR 4 each substrate carried its own copy of these fields and
+// they had drifted (the flow pipeline had admission control but no
+// watchdog or shedding). This struct is now the single source of truth,
+// embedded by sim::RegionConfig, flow::PipelineConfig, and
+// rt::LocalRegionConfig; the old flat fields survive there as
+// deprecated aliases resolved by merged_protection().
+#pragma once
+
+#include <cstdint>
+
+namespace slb::control {
+
+struct ProtectionConfig {
+  /// Closed-loop admission control: while the policy reports overload,
+  /// throttle the source to (1 - capacity_deficit) of full speed,
+  /// floored at `min_throttle`. No effect on open-loop sources (an
+  /// external source cannot be slowed — that is what shedding is for).
+  bool admission_control = false;
+  double min_throttle = 0.25;
+
+  /// Open-loop load shedding: when the source backlog reaches the high
+  /// watermark, drop backlog tuples (reported downstream as sequence
+  /// gaps) until it is back at the low watermark. 0 disables shedding.
+  std::uint64_t shed_high_watermark = 0;
+  std::uint64_t shed_low_watermark = 0;
+
+  /// Watchdog ladder: if the aggregate blocking rate stays at or above
+  /// `watchdog_block_budget` for `watchdog_periods` consecutive sample
+  /// periods, escalate one rung —
+  ///   stage 1: clamp the admission throttle to min_throttle,
+  ///   stage 2: halve the shed watermarks,
+  ///   stage 3: drop the policy into safe-mode WRR.
+  /// The same number of consecutive calm periods unwinds the ladder
+  /// completely.
+  bool watchdog = false;
+  double watchdog_block_budget = 0.9;
+  int watchdog_periods = 8;
+};
+
+/// Resolves a substrate config that still carries the pre-PR-4 flat
+/// protection fields against its embedded ProtectionConfig: any legacy
+/// field set away from its default overrides the embedded value, so old
+/// call sites (`cfg.admission_control = true;`) keep their meaning while
+/// new code writes `cfg.protection.admission_control`.
+inline ProtectionConfig merged_protection(
+    ProtectionConfig base, bool admission_control, double min_throttle,
+    std::uint64_t shed_high_watermark, std::uint64_t shed_low_watermark,
+    bool watchdog, double watchdog_block_budget, int watchdog_periods) {
+  const ProtectionConfig defaults;
+  if (admission_control != defaults.admission_control) {
+    base.admission_control = admission_control;
+  }
+  if (min_throttle != defaults.min_throttle) {
+    base.min_throttle = min_throttle;
+  }
+  if (shed_high_watermark != defaults.shed_high_watermark) {
+    base.shed_high_watermark = shed_high_watermark;
+  }
+  if (shed_low_watermark != defaults.shed_low_watermark) {
+    base.shed_low_watermark = shed_low_watermark;
+  }
+  if (watchdog != defaults.watchdog) base.watchdog = watchdog;
+  if (watchdog_block_budget != defaults.watchdog_block_budget) {
+    base.watchdog_block_budget = watchdog_block_budget;
+  }
+  if (watchdog_periods != defaults.watchdog_periods) {
+    base.watchdog_periods = watchdog_periods;
+  }
+  return base;
+}
+
+}  // namespace slb::control

@@ -1,0 +1,198 @@
+#include "control/region_control.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace slb::control {
+
+RegionControlLoop::RegionControlLoop(RegionPort* port, SplitPolicy* policy,
+                                     ControlLoopConfig config)
+    : port_(port),
+      policy_(policy),
+      config_(config),
+      channels_(port->channels()),
+      prev_cumulative_(static_cast<std::size_t>(port->channels()), 0),
+      down_(static_cast<std::size_t>(port->channels()), 0),
+      shed_high_(config.protection.shed_high_watermark),
+      shed_low_(config.protection.shed_low_watermark) {
+  assert(port_ != nullptr);
+  assert(policy_ != nullptr);
+  assert(channels_ > 0);
+  actions_.block_rates.assign(static_cast<std::size_t>(channels_), 0.0);
+  actions_.shed_high = shed_high_;
+  actions_.shed_low = shed_low_;
+}
+
+void RegionControlLoop::set_journal(obs::DecisionJournal* journal) {
+  journal_ = journal;
+  policy_->set_journal(journal);
+}
+
+void RegionControlLoop::attach_metrics(obs::MetricsRegistry& registry,
+                                       const std::string& prefix) {
+  throttle_gauge_ = &registry.gauge(prefix + "throttle_m");
+  throttle_gauge_->set(1000);
+  watchdog_gauge_ = &registry.gauge(prefix + "watchdog_stage");
+}
+
+const ControlActions& RegionControlLoop::tick(TimeNs now, DurationNs span) {
+  const std::vector<DurationNs> cumulative = port_->sample_blocked();
+  const std::vector<std::uint64_t> delivered = port_->sample_delivered();
+  return tick_with(now, span, cumulative, delivered);
+}
+
+const ControlActions& RegionControlLoop::tick_with(
+    TimeNs now, DurationNs span,
+    std::span<const DurationNs> cumulative_blocked,
+    std::span<const std::uint64_t> delivered) {
+  assert(static_cast<int>(cumulative_blocked.size()) == channels_);
+  const ProtectionConfig& prot = config_.protection;
+
+  // 1. Ingest: per-period blocking rates from the cumulative counters.
+  double aggregate = 0.0;
+  for (std::size_t j = 0; j < cumulative_blocked.size(); ++j) {
+    const DurationNs delta = cumulative_blocked[j] - prev_cumulative_[j];
+    const double rate =
+        span > 0 ? static_cast<double>(delta) / static_cast<double>(span)
+                 : 0.0;
+    actions_.block_rates[j] = rate;
+    aggregate += rate;
+    prev_cumulative_[j] = cumulative_blocked[j];
+  }
+  actions_.aggregate_block = aggregate;
+
+  // 2. Policy update: decay / regression / RAP solve (or frozen weights
+  // under declared overload, or safe-mode WRR) happen inside; every
+  // decision is journaled by the controller itself.
+  policy_->on_sample(now, cumulative_blocked);
+  if (!delivered.empty()) policy_->on_throughput(now, delivered);
+
+  // 3. Admission throttle, computed with the *current* watchdog stage —
+  // an escalation this period takes effect on the next period's factor.
+  const SplitPolicy::OverloadState overload = policy_->overload_state();
+  actions_.overloaded = overload.overloaded;
+  actions_.capacity_deficit = overload.capacity_deficit;
+  actions_.throttle_set = false;
+  if (prot.admission_control && config_.closed_loop_source) {
+    double factor = 1.0;
+    if (overload.overloaded) {
+      factor = std::clamp(1.0 - overload.capacity_deficit,
+                          prot.min_throttle, 1.0);
+    }
+    if (stage_ >= 1) factor = prot.min_throttle;
+    actions_.throttle = factor;
+    actions_.throttle_set = true;
+    port_->apply_throttle(factor);
+    if (throttle_gauge_ != nullptr) {
+      throttle_gauge_->set(static_cast<std::int64_t>(factor * 1000.0));
+    }
+  }
+
+  // 4. Watchdog ladder.
+  actions_.watermarks_changed = false;
+  if (prot.watchdog) {
+    if (aggregate >= prot.watchdog_block_budget) {
+      calm_streak_ = 0;
+      if (++hot_streak_ >= prot.watchdog_periods) {
+        hot_streak_ = 0;
+        watchdog_escalate(now, aggregate);
+      }
+    } else {
+      hot_streak_ = 0;
+      if (stage_ > 0 && ++calm_streak_ >= prot.watchdog_periods) {
+        calm_streak_ = 0;
+        watchdog_unwind(now, aggregate);
+      }
+    }
+  }
+
+  actions_.watchdog_stage = stage_;
+  actions_.safe_mode = policy_->safe_mode();
+  actions_.shed_high = shed_high_;
+  actions_.shed_low = shed_low_;
+  actions_.weights = policy_->weights();
+
+  if (journal_ != nullptr && config_.journal_ticks) {
+    obs::JsonLine line;
+    line.str("ev", "control")
+        .num("t", static_cast<std::int64_t>(now))
+        .reals("rates", actions_.block_rates)
+        .real("agg", aggregate)
+        .real("throttle", actions_.throttle)
+        .num("stage", static_cast<std::int64_t>(stage_))
+        .num("shed_hi", shed_high_)
+        .num("shed_lo", shed_low_)
+        .boolean("safe", actions_.safe_mode)
+        .ints("w", actions_.weights);
+    journal_->append(line.finish());
+  }
+  return actions_;
+}
+
+void RegionControlLoop::mark_channel_down(int j) {
+  assert(j >= 0 && j < channels_);
+  down_[static_cast<std::size_t>(j)] = 1;
+  policy_->on_channel_down(j);
+}
+
+void RegionControlLoop::mark_channel_up(int j) {
+  assert(j >= 0 && j < channels_);
+  down_[static_cast<std::size_t>(j)] = 0;
+  policy_->on_channel_up(j);
+}
+
+void RegionControlLoop::watchdog_escalate(TimeNs now, double aggregate) {
+  if (stage_ >= 3) return;
+  ++stage_;
+  if (watchdog_gauge_ != nullptr) watchdog_gauge_->set(stage_);
+  const ProtectionConfig& prot = config_.protection;
+  switch (stage_) {
+    case 1:
+      // Forced throttle: applied by the admission pass on closed-loop
+      // sources from the next tick on. Nothing to do for open loop.
+      break;
+    case 2:
+      if (prot.shed_high_watermark > 0) {
+        shed_high_ = std::max<std::uint64_t>(1, prot.shed_high_watermark / 2);
+        shed_low_ = prot.shed_low_watermark / 2;
+        port_->apply_shed_watermarks(shed_high_, shed_low_);
+        actions_.watermarks_changed = true;
+      }
+      break;
+    case 3:
+      policy_->enter_safe_mode();
+      break;
+  }
+  if (journal_ != nullptr) {
+    obs::JsonLine line;
+    line.str("ev", "watchdog_escalate")
+        .num("t", static_cast<std::int64_t>(now))
+        .num("stage", static_cast<std::int64_t>(stage_))
+        .real("agg", aggregate);
+    journal_->append(line.finish());
+  }
+}
+
+void RegionControlLoop::watchdog_unwind(TimeNs now, double aggregate) {
+  policy_->exit_safe_mode();
+  const ProtectionConfig& prot = config_.protection;
+  if (prot.shed_high_watermark > 0) {
+    shed_high_ = prot.shed_high_watermark;
+    shed_low_ = prot.shed_low_watermark;
+    port_->apply_shed_watermarks(shed_high_, shed_low_);
+    actions_.watermarks_changed = true;
+  }
+  actions_.throttle = 1.0;
+  port_->apply_throttle(1.0);
+  stage_ = 0;
+  if (watchdog_gauge_ != nullptr) watchdog_gauge_->set(0);
+  if (journal_ != nullptr) {
+    obs::JsonLine line;
+    line.str("ev", "watchdog_unwind")
+        .num("t", static_cast<std::int64_t>(now))
+        .real("agg", aggregate);
+    journal_->append(line.finish());
+  }
+}
+
+}  // namespace slb::control

@@ -47,6 +47,8 @@ std::unique_ptr<Pipeline> PipelineBuilder::build() {
   consumed_ = true;
 
   auto pipeline = std::unique_ptr<Pipeline>(new Pipeline(config_));
+  pipeline->prot_ = config_.resolved_protection();
+  const control::ProtectionConfig& prot = pipeline->prot_;
   sim::Simulator* sim = &pipeline->sim_;
 
   sim::Channel::Config chan_cfg;
@@ -125,6 +127,16 @@ std::unique_ptr<Pipeline> PipelineBuilder::build() {
     stage.splitter->wire(std::move(channel_ptrs), stage.counters.get());
     stage.splitter->set_input(stage.input.get());
 
+    // Each parallel stage runs the shared decision pipeline over its own
+    // counters and policy; actuation is aggregated onto the source in
+    // Pipeline::sample_tick.
+    stage.port = std::make_unique<Pipeline::StagePort>(&stage);
+    control::ControlLoopConfig loop_cfg;
+    loop_cfg.protection = prot;
+    loop_cfg.closed_loop_source = config_.source_interval == 0;
+    stage.loop = std::make_unique<control::RegionControlLoop>(
+        stage.port.get(), stage.policy.get(), loop_cfg);
+
     if (config_.metrics) {
       obs::MetricsRegistry& reg = pipeline->metrics_;
       const std::string prefix = "stage." + stage.name + ".";
@@ -147,6 +159,7 @@ std::unique_ptr<Pipeline> PipelineBuilder::build() {
             prefix + "worker." + std::to_string(j) + ".service_ns"));
       }
       stage.policy->attach_metrics(reg, prefix + "policy.");
+      stage.loop->attach_metrics(reg, prefix);
     }
   }
 
@@ -168,6 +181,15 @@ std::unique_ptr<Pipeline> PipelineBuilder::build() {
     pipeline->throttle_gauge_ = &reg.gauge("source.throttle_m");
     pipeline->throttle_gauge_->set(1000);
   }
+  if (prot.shed_high_watermark > 0) {
+    // Shedding needs no gap accounting here: every stage splitter
+    // restamps forwarded tuples with its own dense sequence stream, so a
+    // source-side shed is invisible to downstream ordering.
+    pipeline->source_->set_shed_watermarks(prot.shed_high_watermark,
+                                           prot.shed_low_watermark);
+    pipeline->applied_shed_high_ = prot.shed_high_watermark;
+    pipeline->applied_shed_low_ = prot.shed_low_watermark;
+  }
   return pipeline;
 }
 
@@ -182,34 +204,40 @@ void Pipeline::ensure_started() {
 }
 
 void Pipeline::sample_tick() {
+  // Run every parallel stage's decision pipeline, then aggregate the
+  // resulting actions onto the single shared source: the throttle is the
+  // min over stage factors (equivalently 1 - max capacity deficit,
+  // floored at min_throttle, since clamp is monotone), and the shed
+  // watermarks are the tightest any stage's watchdog demands.
+  double factor = 1.0;
+  bool throttled = false;
+  std::uint64_t shed_high = prot_.shed_high_watermark;
+  std::uint64_t shed_low = prot_.shed_low_watermark;
   for (auto& stage : stages_) {
     if (!stage->parallel) continue;
-    stage->policy->on_sample(sim_.now(), stage->counters->sample());
-    std::vector<std::uint64_t> delivered;
-    delivered.reserve(stage->workers.size());
-    for (std::size_t j = 0; j < stage->workers.size(); ++j) {
-      delivered.push_back(stage->merger->emitted_from(static_cast<int>(j)));
+    const control::ControlActions& acts =
+        stage->loop->tick(sim_.now(), config_.sample_period);
+    if (acts.throttle_set) {
+      throttled = true;
+      factor = std::min(factor, acts.throttle);
     }
-    stage->policy->on_throughput(sim_.now(), delivered);
+    if (prot_.shed_high_watermark > 0 && acts.shed_high < shed_high) {
+      shed_high = acts.shed_high;
+      shed_low = acts.shed_low;
+    }
   }
-  if (config_.admission_control) {
-    // Throttle the source against the worst declared capacity deficit
-    // across parallel stages; release as soon as none reports overload.
-    double deficit = -1.0;
-    for (auto& stage : stages_) {
-      if (!stage->parallel) continue;
-      const SplitPolicy::OverloadState state = stage->policy->overload_state();
-      if (state.overloaded) deficit = std::max(deficit, state.capacity_deficit);
-    }
-    source_throttle_ =
-        deficit < 0.0
-            ? 1.0
-            : std::clamp(1.0 - deficit, config_.min_throttle, 1.0);
-    source_->set_throttle(source_throttle_);
+  if (throttled) {
+    source_throttle_ = factor;
+    source_->set_throttle(factor);
     if (throttle_gauge_ != nullptr) {
-      throttle_gauge_->set(
-          static_cast<std::int64_t>(source_throttle_ * 1000.0));
+      throttle_gauge_->set(static_cast<std::int64_t>(factor * 1000.0));
     }
+  }
+  if (prot_.shed_high_watermark > 0 &&
+      (shed_high != applied_shed_high_ || shed_low != applied_shed_low_)) {
+    applied_shed_high_ = shed_high;
+    applied_shed_low_ = shed_low;
+    source_->set_shed_watermarks(shed_high, shed_low);
   }
   sim_.schedule_after(config_.sample_period, [this] { sample_tick(); });
 }
@@ -235,6 +263,31 @@ BlockingCounterSet& Pipeline::stage_counters(int s) {
   Stage& stage = *stages_[static_cast<std::size_t>(s)];
   assert(stage.parallel);
   return *stage.counters;
+}
+
+control::RegionControlLoop& Pipeline::stage_control(int s) {
+  Stage& stage = *stages_[static_cast<std::size_t>(s)];
+  assert(stage.parallel);
+  return *stage.loop;
+}
+
+std::uint64_t Pipeline::shed_tuples() const { return source_->shed(); }
+
+int Pipeline::StagePort::channels() const {
+  return static_cast<int>(stage->workers.size());
+}
+
+std::vector<DurationNs> Pipeline::StagePort::sample_blocked() {
+  return stage->counters->sample();
+}
+
+std::vector<std::uint64_t> Pipeline::StagePort::sample_delivered() {
+  std::vector<std::uint64_t> delivered;
+  delivered.reserve(stage->workers.size());
+  for (std::size_t j = 0; j < stage->workers.size(); ++j) {
+    delivered.push_back(stage->merger->emitted_from(static_cast<int>(j)));
+  }
+  return delivered;
 }
 
 }  // namespace slb::flow

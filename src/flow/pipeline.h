@@ -22,6 +22,9 @@
 #include <string>
 #include <vector>
 
+#include "control/protection.h"
+#include "control/region_control.h"
+#include "control/region_port.h"
 #include "core/blocking_counter.h"
 #include "core/policies.h"
 #include "obs/metrics.h"
@@ -47,11 +50,28 @@ struct PipelineConfig {
   DurationNs link_latency = micros(2);
   /// Sampling / policy-update period for parallel stages.
   DurationNs sample_period = millis(10);
-  /// End-to-end admission control: while any parallel stage's policy
-  /// reports overload, throttle the source to (1 - max capacity
-  /// deficit), floored at `min_throttle` (DESIGN.md §7).
+
+  /// Protection knobs (DESIGN.md §7, §9), enforced per parallel stage by
+  /// the shared control::RegionControlLoop and aggregated onto the
+  /// pipeline's single source: admission throttle = min over stage
+  /// factors (equivalently 1 - max capacity deficit, floored at
+  /// min_throttle), shed watermarks = the tightest across stages, and the
+  /// full watchdog ladder (forced throttle → tightened shedding →
+  /// safe-mode WRR) per stage.
+  control::ProtectionConfig protection;
+
+  /// Deprecated aliases of `protection.admission_control` /
+  /// `protection.min_throttle` (pre-control-plane layout). A field set
+  /// away from its default overrides the embedded struct; new code
+  /// should write `protection.*`.
   bool admission_control = false;
   double min_throttle = 0.25;
+
+  /// Legacy aliases resolved against the embedded struct.
+  control::ProtectionConfig resolved_protection() const {
+    return control::merged_protection(protection, admission_control,
+                                      min_throttle, 0, 0, false, 0.9, 8);
+  }
   /// Observability (DESIGN.md §8): populate the pipeline's registry with
   /// "source.*" and per-parallel-stage "stage.<name>.*" metrics.
   bool metrics = true;
@@ -125,6 +145,13 @@ class Pipeline {
   SplitPolicy& stage_policy(int s);
   /// The blocking counters of a parallel stage (asserts on op stages).
   BlockingCounterSet& stage_counters(int s);
+  /// The control loop of a parallel stage (asserts on op stages): the
+  /// shared per-period decision pipeline of DESIGN.md §9.
+  control::RegionControlLoop& stage_control(int s);
+  /// Watchdog escalation stage of a parallel stage (0 = normal).
+  int stage_watchdog_stage(int s) {
+    return stage_control(s).watchdog_stage();
+  }
 
   sim::Simulator& simulator() { return sim_; }
   TimeNs now() const { return sim_.now(); }
@@ -142,6 +169,11 @@ class Pipeline {
   /// Current admission-control factor on the source (1.0 = unthrottled).
   double source_throttle() const { return source_throttle_; }
 
+  /// Tuples shed at the source so far. Each consumed a source sequence
+  /// number, but stage splitters restamp forwarded tuples with their own
+  /// dense streams, so sheds are invisible to downstream ordering.
+  std::uint64_t shed_tuples() const;
+
   /// The pipeline's metrics registry (DESIGN.md §8): "source.*" for the
   /// source splitter plus "stage.<name>.*" for every parallel stage
   /// (splitter/merger/worker metrics and the stage policy's own, e.g.
@@ -151,6 +183,23 @@ class Pipeline {
 
  private:
   friend class PipelineBuilder;
+
+  struct Stage;
+
+  /// The control loop's view of one parallel stage. Actuation (throttle,
+  /// shed watermarks) happens at the pipeline's single shared source, so
+  /// the per-stage port only samples; sample_tick aggregates each loop's
+  /// ControlActions into the source settings.
+  struct StagePort final : control::RegionPort {
+    explicit StagePort(Stage* s) : stage(s) {}
+    Stage* stage;
+    int channels() const override;
+    std::vector<DurationNs> sample_blocked() override;
+    std::vector<std::uint64_t> sample_delivered() override;
+    void apply_throttle(double /*factor*/) override {}
+    void apply_shed_watermarks(std::uint64_t /*high*/,
+                               std::uint64_t /*low*/) override {}
+  };
 
   struct Stage {
     std::string name;
@@ -169,6 +218,8 @@ class Pipeline {
     std::vector<std::unique_ptr<sim::Channel>> channels;
     std::vector<std::unique_ptr<sim::Worker>> workers;
     std::unique_ptr<sim::Merger> merger;
+    std::unique_ptr<StagePort> port;
+    std::unique_ptr<control::RegionControlLoop> loop;
   };
 
   explicit Pipeline(PipelineConfig config) : config_(config) {}
@@ -177,6 +228,9 @@ class Pipeline {
   void sample_tick();
 
   PipelineConfig config_;
+  /// config_'s protection knobs with legacy aliases resolved (fixed at
+  /// build time; shared by every stage loop and the source aggregation).
+  control::ProtectionConfig prot_;
   /// Declared before the stages that hold handles into it.
   obs::MetricsRegistry metrics_;
   obs::Gauge* throttle_gauge_ = nullptr;
@@ -194,6 +248,10 @@ class Pipeline {
   bool order_ok_ = true;
   bool started_ = false;
   double source_throttle_ = 1.0;
+  /// Shed watermarks currently applied to the source (0 when shedding is
+  /// off); re-applied only when the per-stage aggregate changes.
+  std::uint64_t applied_shed_high_ = 0;
+  std::uint64_t applied_shed_low_ = 0;
 };
 
 }  // namespace slb::flow

@@ -14,6 +14,7 @@ LocalRegion::LocalRegion(LocalRegionConfig config,
                          std::unique_ptr<SplitPolicy> policy)
     : config_(config),
       policy_(std::move(policy)),
+      prot_(config.resolved_protection()),
       counters_(static_cast<std::size_t>(config.workers)) {
   assert(config_.workers > 0);
   assert(policy_ != nullptr);
@@ -80,6 +81,15 @@ LocalRegion::LocalRegion(LocalRegionConfig config,
   next_reconnect_.assign(n, 0);
   backoff_.assign(n, 0);
   load_mult_.assign(n, 1.0);
+
+  shed_high_ = prot_.shed_high_watermark;
+  shed_low_ = prot_.shed_low_watermark;
+  control::ControlLoopConfig loop_cfg;
+  loop_cfg.protection = prot_;
+  loop_cfg.closed_loop_source = config_.source_interval == 0;
+  loop_ = std::make_unique<control::RegionControlLoop>(
+      static_cast<control::RegionPort*>(this), policy_.get(), loop_cfg);
+  if (config_.metrics) loop_->attach_metrics(metrics_, "region.");
 }
 
 void LocalRegion::flush_pending(int k, bool blocking) {
@@ -95,9 +105,17 @@ void LocalRegion::flush_pending(int k, bool blocking) {
 }
 
 LocalRegion::~LocalRegion() {
-  // PEs join in their own destructors; close splitter sockets first so
-  // any worker still reading sees EOF.
+  // Tear down in dependency order so a constructed-but-never-run region
+  // (e.g. a parity test driving the control loop externally) still
+  // unwinds: close the splitter sockets so workers reading them see EOF,
+  // join the worker threads, then destroy them — which closes their
+  // worker->merger sockets, the EOFs the merger needs to finish. A
+  // fault-mode merger additionally waits for reconnects that will never
+  // come unless told the region is closing.
   to_workers_.clear();
+  for (auto& w : workers_) w->join();
+  workers_.clear();
+  merger_->begin_shutdown();
 }
 
 DurationNs LocalRegion::jitter(DurationNs limit) {
@@ -123,7 +141,7 @@ void LocalRegion::quarantine(int j, TimeNs now, LocalRunStats& stats) {
   if (mc_.channel_failures != nullptr) mc_.channel_failures->inc();
   backoff_[ju] = config_.reconnect_backoff_initial;
   next_reconnect_[ju] = now + backoff_[ju] + jitter(backoff_[ju] / 2 + 1);
-  policy_->on_channel_down(j);
+  loop_->mark_channel_down(j);
 }
 
 bool LocalRegion::try_reconnect(int j, TimeNs now, LocalRunStats& stats) {
@@ -175,7 +193,7 @@ bool LocalRegion::try_reconnect(int j, TimeNs now, LocalRunStats& stats) {
   backoff_[ju] = 0;
   ++stats.reconnects;
   if (mc_.reconnects != nullptr) mc_.reconnects->inc();
-  policy_->on_channel_up(j);
+  loop_->mark_channel_up(j);
   return true;
 }
 
@@ -196,8 +214,6 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
 
   const TimeNs start = monotonic_now();
   TimeNs next_sample = start + config_.sample_period;
-  std::vector<DurationNs> prev_blocked(
-      static_cast<std::size_t>(config_.workers), 0);
 
   LocalRunStats stats;
   net::Frame frame;
@@ -206,18 +222,14 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
 
   const int n = config_.workers;
 
-  // Overload-protection state (DESIGN.md §7). Sequence numbers are
-  // issued from next_seq; shed tuples consume them without being sent.
+  // Sequence numbers are issued from next_seq; shed tuples consume them
+  // without being sent. The protection decisions themselves (throttle_,
+  // shed watermarks, watchdog ladder) come out of the shared control
+  // loop, ticked once per sample period below.
   std::uint64_t next_seq = 0;
   TimeNs next_release = start;  // open-loop release clock
-  std::uint64_t shed_high = config_.shed_high_watermark;
-  std::uint64_t shed_low = config_.shed_low_watermark;
   std::uint64_t prev_shed = 0;
-  double throttle = 1.0;
   double throttle_debt = 0.0;  // accumulated ns to sleep off
-  int watchdog_stage = 0;
-  int watchdog_streak = 0;
-  int calm_streak = 0;
   // Shed ranges not yet announced to the merger: [first, count). Flushed
   // through any live worker connection (workers forward gap frames with
   // zero work); held and retried while everything is down.
@@ -281,71 +293,25 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
       }
     }
     if (now >= next_sample) {
-      const std::vector<DurationNs> cumulative = counters_.sample();
-      policy_->on_sample(now - start, cumulative);
       // A long blocking episode can push us several periods past
-      // next_sample; normalize by the *actual* elapsed span.
+      // next_sample; normalize by the *actual* elapsed span. The whole
+      // decision pipeline — observation ingest, policy update, admission
+      // throttle, watchdog ladder — runs in the shared control loop,
+      // which samples and actuates through this region's RegionPort.
       const DurationNs span = config_.sample_period + (now - next_sample);
-      std::vector<double> block_rates;
-      block_rates.reserve(static_cast<std::size_t>(n));
-      double aggregate = 0.0;
-      for (int j = 0; j < n; ++j) {
-        const auto ju = static_cast<std::size_t>(j);
-        const double rate =
-            static_cast<double>(cumulative[ju] - prev_blocked[ju]) /
-            static_cast<double>(span);
-        block_rates.push_back(rate);
-        aggregate += rate;
-        prev_blocked[ju] = cumulative[ju];
-      }
-
-      const SplitPolicy::OverloadState overload = policy_->overload_state();
-      if (config_.admission_control && config_.source_interval == 0) {
-        throttle = overload.overloaded
-                       ? std::clamp(1.0 - overload.capacity_deficit,
-                                    config_.min_throttle, 1.0)
-                       : 1.0;
-        if (watchdog_stage >= 1) throttle = config_.min_throttle;
-      }
-      if (config_.watchdog) {
-        if (aggregate >= config_.watchdog_block_budget) {
-          calm_streak = 0;
-          if (++watchdog_streak >= config_.watchdog_periods &&
-              watchdog_stage < 3) {
-            watchdog_streak = 0;
-            ++watchdog_stage;
-            if (watchdog_stage == 2 && shed_high > 0) {
-              shed_high = std::max<std::uint64_t>(1, shed_high / 2);
-              shed_low /= 2;
-            } else if (watchdog_stage == 3) {
-              policy_->enter_safe_mode();
-            }
-          }
-        } else {
-          watchdog_streak = 0;
-          if (watchdog_stage > 0 &&
-              ++calm_streak >= config_.watchdog_periods) {
-            calm_streak = 0;
-            watchdog_stage = 0;
-            policy_->exit_safe_mode();
-            shed_high = config_.shed_high_watermark;
-            shed_low = config_.shed_low_watermark;
-            throttle = 1.0;
-          }
-        }
-      }
+      const control::ControlActions& acts = loop_->tick(now - start, span);
 
       sync_merger_metrics();
 
       if (sample_hook_) {
         LocalSample sample;
         sample.elapsed = now - start;
-        sample.weights = policy_->weights();
-        sample.block_rates = std::move(block_rates);
+        sample.weights = acts.weights;
+        sample.block_rates = acts.block_rates;
         sample.emitted = merger_->emitted();
         sample.shed_in_period = stats.shed - prev_shed;
-        sample.overloaded = overload.overloaded;
-        sample.watchdog_stage = watchdog_stage;
+        sample.overloaded = acts.overloaded;
+        sample.watchdog_stage = acts.watchdog_stage;
         sample_hook_(sample);
       }
       prev_shed = stats.shed;
@@ -357,11 +323,11 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
 
     if (config_.source_interval > 0) {
       // Open loop: shed when the backlog crosses the high watermark...
-      if (shed_high > 0 && now > next_release) {
+      if (shed_high_ > 0 && now > next_release) {
         const std::uint64_t backlog = static_cast<std::uint64_t>(
             (now - next_release) / config_.source_interval);
-        if (backlog >= shed_high) {
-          const std::uint64_t drop = backlog - shed_low;
+        if (backlog >= shed_high_) {
+          const std::uint64_t drop = backlog - shed_low_;
           gap_queue.emplace_back(next_seq, drop);
           next_seq += drop;
           stats.shed += drop;
@@ -488,12 +454,12 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
     ++next_seq;
     if (config_.source_interval > 0) {
       next_release += config_.source_interval;
-    } else if (throttle < 1.0) {
+    } else if (throttle_ < 1.0) {
       // Admission control: pay out the complement of the throttle factor
       // as sleep, batched so sub-100µs debts still take effect.
       const TimeNs after = monotonic_now();
       throttle_debt +=
-          (1.0 / throttle - 1.0) * static_cast<double>(after - now);
+          (1.0 / throttle_ - 1.0) * static_cast<double>(after - now);
       if (throttle_debt >= 100000.0) {
         std::this_thread::sleep_for(std::chrono::nanoseconds(
             static_cast<long long>(throttle_debt)));

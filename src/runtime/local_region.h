@@ -15,6 +15,9 @@
 #include <memory>
 #include <vector>
 
+#include "control/protection.h"
+#include "control/region_control.h"
+#include "control/region_port.h"
 #include "core/blocking_counter.h"
 #include "core/policies.h"
 #include "obs/metrics.h"
@@ -71,35 +74,37 @@ struct LocalRegionConfig {
   /// dead (see MergerFaultConfig::gap_timeout).
   DurationNs merger_gap_timeout = millis(500);
 
-  // --- Overload protection (DESIGN.md §7) ------------------------------
+  // --- Overload protection (DESIGN.md §7, §9) --------------------------
 
   /// Source pacing: 0 = closed loop (send as fast as the region accepts);
   /// > 0 = open loop releasing one tuple every `source_interval` ns, with
   /// arrears bursting out after blocking.
   DurationNs source_interval = 0;
 
-  /// Closed-loop admission control: while the policy reports overload,
-  /// throttle the source to (1 - capacity_deficit), floored at
-  /// `min_throttle`. No effect on open-loop sources.
+  /// The region's protection knobs (admission control, shed watermarks,
+  /// watchdog ladder), enforced by the shared control::RegionControlLoop
+  /// the splitter thread ticks once per sample period.
+  control::ProtectionConfig protection;
+
+  /// Deprecated aliases of the `protection` fields (pre-control-plane
+  /// flat layout). A field set away from its default overrides the
+  /// embedded struct via control::merged_protection, so old call sites
+  /// keep working; new code should write `protection.*`.
   bool admission_control = false;
   double min_throttle = 0.25;
-
-  /// Open-loop load shedding watermarks on the source backlog (tuples).
-  /// When the backlog reaches `high`, the oldest tuples are dropped down
-  /// to `low`; each drop consumes a sequence number and is announced to
-  /// the merger with a gap frame so `emitted + gaps == sent + shed`
-  /// stays an invariant. 0 disables shedding.
   std::uint64_t shed_high_watermark = 0;
   std::uint64_t shed_low_watermark = 0;
-
-  /// Splitter watchdog: aggregate blocking at or above
-  /// `watchdog_block_budget` for `watchdog_periods` consecutive sample
-  /// periods escalates the protection ladder (forced throttle -> halved
-  /// shed watermarks -> safe-mode WRR); the same number of calm periods
-  /// unwinds it.
   bool watchdog = false;
   double watchdog_block_budget = 0.9;
   int watchdog_periods = 8;
+
+  /// Legacy aliases resolved against the embedded struct.
+  control::ProtectionConfig resolved_protection() const {
+    return control::merged_protection(
+        protection, admission_control, min_throttle, shed_high_watermark,
+        shed_low_watermark, watchdog, watchdog_block_budget,
+        watchdog_periods);
+  }
 
   // --- Observability (DESIGN.md §8) ------------------------------------
 
@@ -151,7 +156,7 @@ struct LocalSample {
   int watchdog_stage = 0;
 };
 
-class LocalRegion {
+class LocalRegion : private control::RegionPort {
  public:
   LocalRegion(LocalRegionConfig config, std::unique_ptr<SplitPolicy> policy);
   ~LocalRegion();
@@ -173,6 +178,14 @@ class LocalRegion {
   MergerPe& merger() { return *merger_; }
   WorkerPe& worker(int j) { return *workers_[static_cast<std::size_t>(j)]; }
 
+  /// The region's control loop (DESIGN.md §9): the shared per-period
+  /// decision pipeline the splitter thread ticks between sends.
+  control::RegionControlLoop& control() { return *loop_; }
+  const control::RegionControlLoop& control() const { return *loop_; }
+
+  /// Current watchdog escalation stage (0 = normal .. 3 = safe-mode WRR).
+  int watchdog_stage() const { return loop_->watchdog_stage(); }
+
   /// The region's metrics registry (DESIGN.md §8): "splitter.*" counters
   /// from the splitter loop, "worker.<j>.service_ns" histograms recorded
   /// on the PE threads, "merger.*" synced from the merger PE's atomics
@@ -182,6 +195,23 @@ class LocalRegion {
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
  private:
+  // control::RegionPort (the control loop's view of this region). All
+  // actuation lands in members the splitter loop reads between sends —
+  // the loop is ticked from that same thread, so no synchronization.
+  int channels() const override { return config_.workers; }
+  std::vector<DurationNs> sample_blocked() override {
+    return counters_.sample();
+  }
+  /// MergerPe keeps no per-connection emitted counts, so the loop skips
+  /// the policy's (no-op) throughput ingest — exactly as before.
+  std::vector<std::uint64_t> sample_delivered() override { return {}; }
+  void apply_throttle(double factor) override { throttle_ = factor; }
+  void apply_shed_watermarks(std::uint64_t high,
+                             std::uint64_t low) override {
+    shed_high_ = high;
+    shed_low_ = low;
+  }
+
   /// Drains connection k's userspace remainder buffer (re-routing mode).
   /// Non-blocking mode sends what the kernel accepts; blocking mode
   /// finishes the whole remainder (blocked time is recorded as usual).
@@ -208,6 +238,9 @@ class LocalRegion {
 
   LocalRegionConfig config_;
   std::unique_ptr<SplitPolicy> policy_;
+  /// config_'s protection knobs with legacy aliases resolved (fixed at
+  /// construction).
+  control::ProtectionConfig prot_;
   BlockingCounterSet counters_;
   /// Declared before the worker PEs holding histogram handles into it.
   obs::MetricsRegistry metrics_;
@@ -245,6 +278,16 @@ class LocalRegion {
   std::vector<DurationNs> backoff_;
   std::vector<double> load_mult_;
   std::uint64_t jitter_state_ = 0x9E3779B97F4A7C15ull;
+
+  /// The shared decision pipeline (DESIGN.md §9); this region is its
+  /// RegionPort. Constructed last so it can capture the wired policy.
+  std::unique_ptr<control::RegionControlLoop> loop_;
+
+  // Actuator state written by the RegionPort overrides (from the loop)
+  // and read by the splitter loop in run().
+  double throttle_ = 1.0;
+  std::uint64_t shed_high_ = 0;
+  std::uint64_t shed_low_ = 0;
 
   bool ran_ = false;
 };

@@ -60,9 +60,11 @@ Region::Region(RegionConfig config, std::unique_ptr<SplitPolicy> policy,
                                          config_.send_overhead,
                                          config_.source_interval);
   splitter_->wire(std::move(channel_ptrs), &counters_);
-  if (config_.shed_high_watermark > 0) {
-    splitter_->set_shed_watermarks(config_.shed_high_watermark,
-                                   config_.shed_low_watermark);
+
+  const control::ProtectionConfig prot = config_.resolved_protection();
+  if (prot.shed_high_watermark > 0) {
+    splitter_->set_shed_watermarks(prot.shed_high_watermark,
+                                   prot.shed_low_watermark);
     // Shed tuples consumed sequence numbers they will never deliver;
     // route them into the merger's gap set so ordered emission is not
     // gated on them and `emitted + gaps == sent + shed` holds.
@@ -70,8 +72,11 @@ Region::Region(RegionConfig config, std::unique_ptr<SplitPolicy> policy,
         [this](std::uint64_t seq) { merger_->note_lost(seq); });
   }
 
-  prev_cumulative_.assign(static_cast<std::size_t>(config_.workers), 0);
-  last_rates_.assign(static_cast<std::size_t>(config_.workers), 0.0);
+  control::ControlLoopConfig loop_cfg;
+  loop_cfg.protection = prot;
+  loop_cfg.closed_loop_source = config_.source_interval == 0;
+  loop_ = std::make_unique<control::RegionControlLoop>(
+      static_cast<control::RegionPort*>(this), policy_.get(), loop_cfg);
 
   if (config_.metrics) {
     SplitterMetrics sm;
@@ -96,9 +101,7 @@ Region::Region(RegionConfig config, std::unique_ptr<SplitPolicy> policy,
                               ".service_ns"));
     }
 
-    throttle_gauge_ = &metrics_.gauge("region.throttle_m");
-    throttle_gauge_->set(1000);
-    watchdog_gauge_ = &metrics_.gauge("region.watchdog_stage");
+    loop_->attach_metrics(metrics_, "region.");
     lost_counter_ = &metrics_.counter("region.lost_tuples");
 
     policy_->attach_metrics(metrics_, "policy.");
@@ -140,14 +143,14 @@ void Region::apply_fault_now(FaultKind kind, int worker,
       splitter_->set_channel_up(worker, false);
       workers_[j]->crash();
       channels_[j]->fail();
-      policy_->on_channel_down(worker);
+      loop_->mark_channel_down(worker);
       break;
     case FaultKind::kWorkerRecover:
       if (!workers_[j]->down()) return;
       channels_[j]->restore();
       workers_[j]->recover();
       splitter_->set_channel_up(worker, true);
-      policy_->on_channel_up(worker);
+      loop_->mark_channel_up(worker);
       break;
     case FaultKind::kChannelStall:
       channels_[j]->stall(duration);
@@ -167,101 +170,43 @@ void Region::ensure_started() {
 }
 
 void Region::sample_tick() {
-  const std::vector<DurationNs> cumulative = counters_.sample();
-
-  // Region-level per-period diagnostics (kept separate from the policy's
-  // own estimator so RR runs report blocking rates too).
-  for (std::size_t j = 0; j < cumulative.size(); ++j) {
-    const DurationNs delta = cumulative[j] - prev_cumulative_[j];
-    last_rates_[j] = static_cast<double>(delta) /
-                     static_cast<double>(config_.sample_period);
-    prev_cumulative_[j] = cumulative[j];
-  }
+  // Region-level per-period diagnostics.
   emitted_last_period_ = merger_->emitted() - prev_emitted_;
   prev_emitted_ = merger_->emitted();
-
-  policy_->on_sample(sim_->now(), cumulative);
-  std::vector<std::uint64_t> delivered(
-      static_cast<std::size_t>(config_.workers));
-  for (int j = 0; j < config_.workers; ++j) {
-    delivered[static_cast<std::size_t>(j)] = merger_->emitted_from(j);
-  }
-  policy_->on_throughput(sim_->now(), delivered);
-
   shed_last_period_ = splitter_->shed() - prev_shed_;
   prev_shed_ = splitter_->shed();
-  overload_tick();
+
+  // The whole decision pipeline — observation ingest, policy update,
+  // admission throttle, watchdog ladder — runs in the shared control
+  // loop, which samples and actuates through this region's RegionPort.
+  loop_->tick(sim_->now(), config_.sample_period);
 
   if (sample_hook_) sample_hook_(*this);
 
   sim_->schedule_after(config_.sample_period, [this] { sample_tick(); });
 }
 
-void Region::overload_tick() {
-  if (config_.admission_control && config_.source_interval == 0) {
-    const auto overload = policy_->overload_state();
-    double factor = 1.0;
-    if (overload.overloaded) {
-      factor = std::clamp(1.0 - overload.capacity_deficit,
-                          config_.min_throttle, 1.0);
-    }
-    if (watchdog_stage_ >= 1) factor = config_.min_throttle;
-    splitter_->set_throttle(factor);
-    if (throttle_gauge_ != nullptr) {
-      throttle_gauge_->set(static_cast<std::int64_t>(factor * 1000.0));
-    }
-  }
-
-  if (!config_.watchdog) return;
-  double aggregate = 0.0;
-  for (double r : last_rates_) aggregate += r;
-  if (aggregate >= config_.watchdog_block_budget) {
-    calm_streak_ = 0;
-    if (++watchdog_streak_ >= config_.watchdog_periods) {
-      watchdog_streak_ = 0;
-      watchdog_escalate();
-    }
-  } else {
-    watchdog_streak_ = 0;
-    if (watchdog_stage_ > 0 &&
-        ++calm_streak_ >= config_.watchdog_periods) {
-      calm_streak_ = 0;
-      watchdog_unwind();
-    }
-  }
+std::vector<DurationNs> Region::sample_blocked() {
+  return counters_.sample();
 }
 
-void Region::watchdog_escalate() {
-  if (watchdog_stage_ >= 3) return;
-  ++watchdog_stage_;
-  if (watchdog_gauge_ != nullptr) watchdog_gauge_->set(watchdog_stage_);
-  switch (watchdog_stage_) {
-    case 1:
-      // Forced throttle: applied by overload_tick() on closed-loop
-      // sources from now on. Nothing to do for open loop.
-      break;
-    case 2:
-      if (config_.shed_high_watermark > 0) {
-        splitter_->set_shed_watermarks(
-            std::max<std::uint64_t>(1, config_.shed_high_watermark / 2),
-            config_.shed_low_watermark / 2);
-      }
-      break;
-    case 3:
-      policy_->enter_safe_mode();
-      break;
+std::vector<std::uint64_t> Region::sample_delivered() {
+  std::vector<std::uint64_t> delivered(
+      static_cast<std::size_t>(config_.workers));
+  for (int j = 0; j < config_.workers; ++j) {
+    delivered[static_cast<std::size_t>(j)] = merger_->emitted_from(j);
   }
+  return delivered;
 }
 
-void Region::watchdog_unwind() {
-  policy_->exit_safe_mode();
-  if (config_.shed_high_watermark > 0) {
-    splitter_->set_shed_watermarks(config_.shed_high_watermark,
-                                   config_.shed_low_watermark);
-  }
-  splitter_->set_throttle(1.0);
-  watchdog_stage_ = 0;
-  if (watchdog_gauge_ != nullptr) watchdog_gauge_->set(0);
+void Region::apply_throttle(double factor) {
+  // The loop only computes throttles for closed-loop sources; an
+  // open-loop region sees this solely as the watchdog unwind's reset.
+  splitter_->set_throttle(factor);
+}
+
+void Region::apply_shed_watermarks(std::uint64_t high, std::uint64_t low) {
+  splitter_->set_shed_watermarks(high, low);
 }
 
 void Region::run_for(DurationNs duration) {

@@ -10,8 +10,12 @@
 #include <memory>
 #include <vector>
 
+#include "control/protection.h"
+#include "control/region_control.h"
+#include "control/region_port.h"
 #include "core/blocking_counter.h"
 #include "core/policies.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "sim/channel.h"
 #include "sim/event.h"
@@ -69,32 +73,31 @@ struct RegionConfig {
   /// every second of its time scale; the harness scales this down).
   DurationNs sample_period = millis(10);
 
-  // --- Overload protection (DESIGN.md §7) ------------------------------
+  // --- Overload protection (DESIGN.md §7, §9) --------------------------
 
-  /// Closed-loop admission control: while the policy reports overload,
-  /// throttle the source to (1 - capacity_deficit) of full speed,
-  /// floored at `min_throttle`. No effect on open-loop sources (an
-  /// external source cannot be slowed — that is what shedding is for).
+  /// The region's protection knobs (admission control, shed watermarks,
+  /// watchdog ladder), enforced by the shared control::RegionControlLoop.
+  control::ProtectionConfig protection;
+
+  /// Deprecated aliases of the `protection` fields (pre-PR-4 flat
+  /// layout). A field set away from its default overrides the embedded
+  /// struct via control::merged_protection, so old call sites keep
+  /// working; new code should write `protection.*`.
   bool admission_control = false;
   double min_throttle = 0.25;
-
-  /// Open-loop load shedding: when the source backlog reaches the high
-  /// watermark, drop backlog tuples (reported to the merger as gaps)
-  /// until it is back at the low watermark. 0 disables shedding.
   std::uint64_t shed_high_watermark = 0;
   std::uint64_t shed_low_watermark = 0;
-
-  /// Splitter watchdog: if the aggregate blocking rate stays at or above
-  /// `watchdog_block_budget` for `watchdog_periods` consecutive sample
-  /// periods, escalate one rung on the protection ladder —
-  ///   stage 1: clamp the admission throttle to min_throttle,
-  ///   stage 2: halve the shed watermarks,
-  ///   stage 3: drop the policy into safe-mode WRR.
-  /// The same number of consecutive calm periods unwinds the ladder
-  /// completely.
   bool watchdog = false;
   double watchdog_block_budget = 0.9;
   int watchdog_periods = 8;
+
+  /// Legacy aliases resolved against the embedded struct.
+  control::ProtectionConfig resolved_protection() const {
+    return control::merged_protection(
+        protection, admission_control, min_throttle, shed_high_watermark,
+        shed_low_watermark, watchdog, watchdog_block_budget,
+        watchdog_periods);
+  }
 
   // --- Observability (DESIGN.md §8) ------------------------------------
 
@@ -121,7 +124,7 @@ struct SharedPlacement {
   std::vector<int> host_of;
 };
 
-class Region {
+class Region : private control::RegionPort {
  public:
   /// Builds and wires the whole region. `load` and `hosts` may be default
   /// (no external load; every worker on its own host).
@@ -182,7 +185,19 @@ class Region {
 
   /// Current watchdog escalation stage (0 = normal, 1 = forced throttle,
   /// 2 = tightened shedding, 3 = safe-mode WRR).
-  int watchdog_stage() const { return watchdog_stage_; }
+  int watchdog_stage() const { return loop_->watchdog_stage(); }
+
+  /// The region's control loop (DESIGN.md §9): the shared per-period
+  /// decision pipeline this region adapts onto the simulator.
+  control::RegionControlLoop& control() { return *loop_; }
+  const control::RegionControlLoop& control() const { return *loop_; }
+
+  /// Attaches `journal` to the control loop and (through it) the
+  /// policy's controller, so the full decision sequence lands in one
+  /// place. Not owned; pass nullptr to detach.
+  void set_journal(obs::DecisionJournal* journal) {
+    loop_->set_journal(journal);
+  }
 
   /// Runs for `duration` of virtual time (starts the pipeline on first
   /// use).
@@ -221,7 +236,7 @@ class Region {
   /// Blocking rate per connection over the last completed sample period
   /// (fraction of the period the splitter spent blocked on it).
   double last_period_blocking_rate(int j) const {
-    return last_rates_[static_cast<std::size_t>(j)];
+    return loop_->last_actions().block_rates[static_cast<std::size_t>(j)];
   }
 
   /// End-to-end tuple latency (source arrival -> in-order emission):
@@ -237,9 +252,13 @@ class Region {
  private:
   void ensure_started();
   void sample_tick();
-  void overload_tick();
-  void watchdog_escalate();
-  void watchdog_unwind();
+
+  // control::RegionPort (the control loop's view of this region).
+  int channels() const override { return config_.workers; }
+  std::vector<DurationNs> sample_blocked() override;
+  std::vector<std::uint64_t> sample_delivered() override;
+  void apply_throttle(double factor) override;
+  void apply_shed_watermarks(std::uint64_t high, std::uint64_t low) override;
 
   RegionConfig config_;
   std::unique_ptr<SplitPolicy> policy_;
@@ -256,11 +275,13 @@ class Region {
   std::unique_ptr<Merger> merger_;
   std::unique_ptr<Splitter> splitter_;
 
+  /// The shared decision pipeline (DESIGN.md §9); this region is its
+  /// RegionPort. Constructed last so it can capture the wired policy.
+  std::unique_ptr<control::RegionControlLoop> loop_;
+
   std::function<void(Region&)> sample_hook_;
   bool started_ = false;
 
-  std::vector<DurationNs> prev_cumulative_;
-  std::vector<double> last_rates_;
   std::uint64_t prev_emitted_ = 0;
   std::uint64_t emitted_last_period_ = 0;
 
@@ -274,13 +295,9 @@ class Region {
 
   std::uint64_t prev_shed_ = 0;
   std::uint64_t shed_last_period_ = 0;
-  int watchdog_stage_ = 0;
-  int watchdog_streak_ = 0;
-  int calm_streak_ = 0;
 
-  /// Region-level gauges (null when config.metrics is off).
-  obs::Gauge* throttle_gauge_ = nullptr;
-  obs::Gauge* watchdog_gauge_ = nullptr;
+  /// Region-level counter (null when config.metrics is off); the
+  /// throttle/watchdog gauges now live in the control loop.
   obs::Counter* lost_counter_ = nullptr;
 
   struct EmitTrigger {

@@ -1,0 +1,268 @@
+// Control-plane parity across substrates (DESIGN.md §9).
+//
+// The whole point of control::RegionControlLoop is that sim::Region,
+// flow::Pipeline, and rt::LocalRegion are thin adapters around ONE
+// decision pipeline. These tests prove it: identical seeded blocking
+// traces fed through tick_with() into each substrate's loop (and into a
+// bare loop on a mock port) must produce byte-identical decision
+// journals — same policy updates, same overload declarations, same
+// watchdog transitions, same per-tick control lines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "control/region_control.h"
+#include "control/region_port.h"
+#include "core/controller.h"
+#include "core/policies.h"
+#include "flow/pipeline.h"
+#include "obs/journal.h"
+#include "runtime/local_region.h"
+#include "sim/region.h"
+#include "util/time.h"
+
+namespace slb {
+namespace {
+
+constexpr int kChannels = 4;
+constexpr DurationNs kSpan = millis(10);
+constexpr int kPeriods = 90;
+
+/// Deterministic per-period cumulative-blocked trace: a quiet warmup, a
+/// long saturated plateau (even rates, aggregate ~0.95 — enough to
+/// declare overload and walk the watchdog ladder), then calm (enough to
+/// unwind it). Jitter comes from a seeded xorshift so every substrate
+/// sees the exact same bytes.
+std::vector<std::vector<DurationNs>> make_trace(std::uint64_t seed) {
+  std::uint64_t state = seed;
+  const auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::vector<std::vector<DurationNs>> trace;
+  std::vector<DurationNs> cumulative(kChannels, 0);
+  for (int p = 0; p < kPeriods; ++p) {
+    for (int j = 0; j < kChannels; ++j) {
+      double rate;
+      if (p < 20) {
+        rate = 0.05 + 0.02 * static_cast<double>(j);  // mild, uneven
+      } else if (p < 60) {
+        rate = 0.23 + 0.005 * static_cast<double>(next() % 4);  // saturated
+      } else {
+        rate = 0.01 + 0.005 * static_cast<double>(next() % 3);  // calm
+      }
+      cumulative[static_cast<std::size_t>(j)] +=
+          static_cast<DurationNs>(rate * static_cast<double>(kSpan));
+    }
+    trace.push_back(cumulative);
+  }
+  return trace;
+}
+
+control::ProtectionConfig parity_protection() {
+  control::ProtectionConfig prot;
+  prot.admission_control = true;
+  prot.shed_high_watermark = 128;
+  prot.shed_low_watermark = 64;
+  prot.watchdog = true;
+  prot.watchdog_periods = 4;
+  return prot;
+}
+
+ControllerConfig parity_controller() {
+  ControllerConfig cfg;
+  cfg.enable_overload_protection = true;
+  return cfg;
+}
+
+std::unique_ptr<LoadBalancingPolicy> parity_policy() {
+  return std::make_unique<LoadBalancingPolicy>(kChannels,
+                                               parity_controller());
+}
+
+/// Substrate-free reference port: records what the loop actuates.
+struct MockPort final : control::RegionPort {
+  int channels() const override { return kChannels; }
+  std::vector<DurationNs> sample_blocked() override { return {}; }
+  std::vector<std::uint64_t> sample_delivered() override { return {}; }
+  void apply_throttle(double factor) override { throttle = factor; }
+  void apply_shed_watermarks(std::uint64_t high,
+                             std::uint64_t low) override {
+    shed_high = high;
+    shed_low = low;
+  }
+  double throttle = 1.0;
+  std::uint64_t shed_high = 0;
+  std::uint64_t shed_low = 0;
+};
+
+/// Feeds the trace into `loop` with a fresh journal attached; returns
+/// the journal contents.
+obs::DecisionJournal drive(control::RegionControlLoop& loop,
+                           const std::vector<std::vector<DurationNs>>& trace) {
+  obs::DecisionJournal journal;
+  loop.set_journal(&journal);
+  loop.set_journal_ticks(true);
+  for (int p = 0; p < static_cast<int>(trace.size()); ++p) {
+    loop.tick_with((p + 1) * kSpan, kSpan,
+                   trace[static_cast<std::size_t>(p)], {});
+  }
+  loop.set_journal(nullptr);
+  return journal;
+}
+
+void expect_byte_identical(const obs::DecisionJournal& a,
+                           const obs::DecisionJournal& b,
+                           const char* label) {
+  ASSERT_EQ(a.entries(), b.entries()) << label;
+  for (std::size_t i = 0; i < a.entries(); ++i) {
+    ASSERT_EQ(a.lines()[i], b.lines()[i])
+        << label << ": first divergence at line " << i;
+  }
+  EXPECT_EQ(a.digest(), b.digest()) << label;
+}
+
+TEST(ControlParity, IdenticalTracesProduceByteIdenticalJournals) {
+  const auto trace = make_trace(/*seed=*/0x5EEDu);
+  const control::ProtectionConfig prot = parity_protection();
+
+  // Reference: a bare loop on a mock port.
+  MockPort mock;
+  control::ControlLoopConfig loop_cfg;
+  loop_cfg.protection = prot;
+  auto ref_policy = parity_policy();
+  control::RegionControlLoop reference(&mock, ref_policy.get(), loop_cfg);
+  const obs::DecisionJournal ref_journal = drive(reference, trace);
+
+  // The trace must be non-trivial: it has to exercise overload
+  // declaration and the full watchdog ladder, or parity proves nothing.
+  ASSERT_GT(ref_journal.entries(), 0u);
+  bool escalated = false;
+  bool unwound = false;
+  for (const std::string& line : ref_journal.lines()) {
+    if (line.find(R"("ev":"watchdog_)") == std::string::npos) continue;
+    if (line.find("escalate") != std::string::npos) escalated = true;
+    if (line.find("unwind") != std::string::npos) unwound = true;
+  }
+  ASSERT_TRUE(escalated);
+  ASSERT_TRUE(unwound);
+
+  // Simulator substrate.
+  sim::RegionConfig sim_cfg;
+  sim_cfg.workers = kChannels;
+  sim_cfg.protection = prot;
+  sim_cfg.metrics = false;
+  sim::Region region(sim_cfg, parity_policy());
+  expect_byte_identical(ref_journal, drive(region.control(), trace), "sim");
+
+  // Flow substrate (one parallel stage).
+  flow::PipelineConfig flow_cfg;
+  flow_cfg.protection = prot;
+  flow_cfg.metrics = false;
+  flow::PipelineBuilder builder(flow_cfg);
+  builder.parallel("score", kChannels, micros(10), parity_policy());
+  auto pipeline = builder.build();
+  expect_byte_identical(ref_journal, drive(pipeline->stage_control(0), trace),
+                        "flow");
+
+  // Threaded-runtime substrate (constructed over real loopback sockets;
+  // never run — the loop is driven externally, exactly like a replay).
+  rt::LocalRegionConfig rt_cfg;
+  rt_cfg.workers = kChannels;
+  rt_cfg.protection = prot;
+  rt_cfg.metrics = false;
+  rt::LocalRegion local(rt_cfg, parity_policy());
+  expect_byte_identical(ref_journal, drive(local.control(), trace), "runtime");
+}
+
+TEST(ControlParity, ActionsMatchTickForTickAcrossSubstrates) {
+  const auto trace = make_trace(/*seed=*/0xBEEFu);
+  const control::ProtectionConfig prot = parity_protection();
+
+  sim::RegionConfig sim_cfg;
+  sim_cfg.workers = kChannels;
+  sim_cfg.protection = prot;
+  sim_cfg.metrics = false;
+  sim::Region region(sim_cfg, parity_policy());
+
+  flow::PipelineConfig flow_cfg;
+  flow_cfg.protection = prot;
+  flow_cfg.metrics = false;
+  flow::PipelineBuilder builder(flow_cfg);
+  builder.parallel("score", kChannels, micros(10), parity_policy());
+  auto pipeline = builder.build();
+
+  rt::LocalRegionConfig rt_cfg;
+  rt_cfg.workers = kChannels;
+  rt_cfg.protection = prot;
+  rt_cfg.metrics = false;
+  rt::LocalRegion local(rt_cfg, parity_policy());
+
+  for (int p = 0; p < static_cast<int>(trace.size()); ++p) {
+    const auto& cumulative = trace[static_cast<std::size_t>(p)];
+    const TimeNs now = (p + 1) * kSpan;
+    const control::ControlActions& a =
+        region.control().tick_with(now, kSpan, cumulative, {});
+    const control::ControlActions& b =
+        pipeline->stage_control(0).tick_with(now, kSpan, cumulative, {});
+    const control::ControlActions& c =
+        local.control().tick_with(now, kSpan, cumulative, {});
+    ASSERT_EQ(a.throttle_set, b.throttle_set) << "tick " << p;
+    ASSERT_EQ(a.throttle, b.throttle) << "tick " << p;
+    ASSERT_EQ(a.watchdog_stage, b.watchdog_stage) << "tick " << p;
+    ASSERT_EQ(a.safe_mode, b.safe_mode) << "tick " << p;
+    ASSERT_EQ(a.shed_high, b.shed_high) << "tick " << p;
+    ASSERT_EQ(a.shed_low, b.shed_low) << "tick " << p;
+    ASSERT_EQ(a.overloaded, b.overloaded) << "tick " << p;
+    ASSERT_EQ(a.weights, b.weights) << "tick " << p;
+    ASSERT_EQ(a.block_rates, b.block_rates) << "tick " << p;
+    ASSERT_EQ(a.throttle, c.throttle) << "tick " << p;
+    ASSERT_EQ(a.watchdog_stage, c.watchdog_stage) << "tick " << p;
+    ASSERT_EQ(a.safe_mode, c.safe_mode) << "tick " << p;
+    ASSERT_EQ(a.shed_high, c.shed_high) << "tick " << p;
+    ASSERT_EQ(a.weights, c.weights) << "tick " << p;
+  }
+  // The shared trace walked every substrate through the same ladder and
+  // back out of it.
+  EXPECT_EQ(region.watchdog_stage(), 0);
+  EXPECT_EQ(pipeline->stage_watchdog_stage(0), 0);
+  EXPECT_EQ(local.watchdog_stage(), 0);
+}
+
+TEST(ControlParity, WatchdogLadderWalksUpAndUnwinds) {
+  MockPort mock;
+  auto policy = parity_policy();
+  control::ControlLoopConfig loop_cfg;
+  loop_cfg.protection = parity_protection();
+  control::RegionControlLoop loop(&mock, policy.get(), loop_cfg);
+
+  const auto trace = make_trace(/*seed=*/0xF00Du);
+  int max_stage = 0;
+  bool saw_halved_watermarks = false;
+  for (int p = 0; p < static_cast<int>(trace.size()); ++p) {
+    loop.tick_with((p + 1) * kSpan, kSpan,
+                   trace[static_cast<std::size_t>(p)], {});
+    max_stage = std::max(max_stage, loop.watchdog_stage());
+    if (loop.watchdog_stage() >= 2) {
+      saw_halved_watermarks = mock.shed_high == 64 && mock.shed_low == 32;
+    }
+  }
+  // The plateau is long enough to reach safe mode (stage 3)...
+  EXPECT_EQ(max_stage, 3);
+  EXPECT_TRUE(saw_halved_watermarks);
+  // ...and the calm tail unwinds everything: stage 0, full watermarks,
+  // throttle released, safe mode exited.
+  EXPECT_EQ(loop.watchdog_stage(), 0);
+  EXPECT_FALSE(policy->safe_mode());
+  EXPECT_EQ(mock.shed_high, 128u);
+  EXPECT_EQ(mock.shed_low, 64u);
+  EXPECT_EQ(mock.throttle, 1.0);
+}
+
+}  // namespace
+}  // namespace slb

@@ -5,7 +5,9 @@
 //     while overloaded;
 //   * policy: safe-mode pinning to an even live split;
 //   * simulator region: watermark shedding with exact gap accounting,
-//     closed-loop admission throttling, and the watchdog ladder.
+//     closed-loop admission throttling, and the watchdog ladder;
+//   * flow pipeline: the same protection ladder, enforced per parallel
+//     stage by the shared control loop and actuated at the source.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -17,6 +19,7 @@
 #include "core/controller.h"
 #include "core/policies.h"
 #include "core/saturation.h"
+#include "flow/pipeline.h"
 #include "sim/region.h"
 
 namespace slb {
@@ -371,6 +374,105 @@ TEST(RegionOverload, WatchdogUnwindsAfterCalm) {
   EXPECT_TRUE(escalated);
   EXPECT_EQ(region.watchdog_stage(), 0);
   EXPECT_FALSE(region.policy().safe_mode());
+}
+
+// --- flow pipeline ----------------------------------------------------
+//
+// The same ladder, driven through flow::Pipeline's per-stage control
+// loops. Topology differs (the stage splitter is fed by an upstream
+// channel, actuation lands on the pipeline's shared source), but the
+// decisions are made by the identical control::RegionControlLoop.
+
+flow::PipelineConfig overloaded_pipeline(bool open_loop) {
+  flow::PipelineConfig cfg;
+  cfg.source_overhead = 200;
+  cfg.sample_period = millis(5);
+  if (open_loop) {
+    // Offered load = 2x the 4-way, 10 us/tuple stage capacity.
+    cfg.source_interval =
+        static_cast<DurationNs>(static_cast<double>(micros(10)) / 8.0);
+  }
+  return cfg;
+}
+
+TEST(PipelineOverload, WatchdogEscalatesToSafeModeAndStaysLive) {
+  // Open-loop 2x overload with no admission control and no shedding:
+  // stages 1 and 2 are no-ops by construction, so the persistent budget
+  // violation must walk the stage's ladder all the way to safe mode —
+  // and the pipeline must keep delivering once it gets there.
+  flow::PipelineConfig cfg = overloaded_pipeline(/*open_loop=*/true);
+  cfg.protection.watchdog = true;
+  cfg.protection.watchdog_periods = 4;
+  flow::PipelineBuilder builder(cfg);
+  builder.parallel("score", 4, micros(10),
+                   std::make_unique<LoadBalancingPolicy>(4));
+  auto pipeline = builder.build();
+  pipeline->run_for(millis(400));
+
+  EXPECT_EQ(pipeline->stage_watchdog_stage(0), 3);
+  EXPECT_TRUE(pipeline->stage_policy(0).safe_mode());
+  EXPECT_GT(pipeline->delivered(), 10'000u);
+  EXPECT_TRUE(pipeline->order_ok());
+}
+
+TEST(PipelineOverload, SourceSheddingKeepsGoodputAndOrdering) {
+  flow::PipelineConfig cfg = overloaded_pipeline(/*open_loop=*/true);
+  cfg.protection.shed_high_watermark = 128;
+  cfg.protection.shed_low_watermark = 64;
+  flow::PipelineBuilder builder(cfg);
+  builder.parallel("score", 4, micros(10),
+                   std::make_unique<LoadBalancingPolicy>(
+                       4, overload_controller()));
+  auto pipeline = builder.build();
+  pipeline->run_for(millis(500));
+
+  EXPECT_GT(pipeline->shed_tuples(), 0u);
+  // Every shed sequence number became a gap in the stage merger, so
+  // in-order delivery survives shedding.
+  EXPECT_TRUE(pipeline->order_ok());
+  // Goodput stays near capacity: shedding protects the pipeline, it
+  // does not starve it. (Capacity = 4 workers / 10 us.)
+  const double capacity =
+      4.0 * kNanosPerSec / static_cast<double>(micros(10));
+  const double goodput = static_cast<double>(pipeline->delivered()) *
+                         kNanosPerSec / static_cast<double>(millis(500));
+  EXPECT_GT(goodput, 0.80 * capacity);
+}
+
+TEST(PipelineOverload, ClosedLoopAdmissionThrottlesAndDeclares) {
+  flow::PipelineConfig cfg = overloaded_pipeline(/*open_loop=*/false);
+  cfg.protection.admission_control = true;
+  ControllerConfig ctrl;
+  ctrl.enable_overload_protection = true;
+  flow::PipelineBuilder builder(cfg);
+  builder.parallel("score", 4, micros(10),
+                   std::make_unique<LoadBalancingPolicy>(4, ctrl));
+  auto pipeline = builder.build();
+
+  bool declared = false;
+  double min_throttle_seen = 1.0;
+  for (int step = 0; step < 120; ++step) {
+    pipeline->run_for(millis(5));
+    declared =
+        declared || pipeline->stage_policy(0).overload_state().overloaded;
+    min_throttle_seen =
+        std::min(min_throttle_seen, pipeline->source_throttle());
+  }
+  // Same limit cycle as the standalone region: declare, throttle,
+  // relieve, release. Assert the cycle happened, not a phase.
+  EXPECT_TRUE(declared);
+  EXPECT_LT(min_throttle_seen, 1.0);
+  EXPECT_GE(min_throttle_seen, cfg.protection.min_throttle);
+}
+
+TEST(PipelineOverload, LegacyAdmissionFieldsStillWork) {
+  // Pre-control-plane call sites set the flat fields; merged_protection
+  // must honor them identically.
+  flow::PipelineConfig cfg = overloaded_pipeline(/*open_loop=*/false);
+  cfg.admission_control = true;  // deprecated alias
+  const control::ProtectionConfig prot = cfg.resolved_protection();
+  EXPECT_TRUE(prot.admission_control);
+  EXPECT_EQ(prot.min_throttle, 0.25);
 }
 
 }  // namespace

@@ -196,9 +196,9 @@ void run_rt_seed(std::uint64_t seed, DurationNs duration) {
   cfg.payload_bytes = 32;
   cfg.sample_period = millis(50);
   cfg.merger_gap_timeout = millis(200);
-  cfg.admission_control = true;
-  cfg.watchdog = true;
-  cfg.watchdog_periods = 4;
+  cfg.protection.admission_control = true;
+  cfg.protection.watchdog = true;
+  cfg.protection.watchdog_periods = 4;
 
   std::uint64_t expected_kills = 0;
   if (rng.chance(0.7)) {
@@ -230,8 +230,8 @@ void run_rt_seed(std::uint64_t seed, DurationNs duration) {
     // with shedding armed.
     cfg.source_interval = static_cast<DurationNs>(
         cfg.multiplies / (2.0 * workers));
-    cfg.shed_high_watermark = 256;
-    cfg.shed_low_watermark = 128;
+    cfg.protection.shed_high_watermark = 256;
+    cfg.protection.shed_low_watermark = 128;
   }
 
   rt::LocalRegion region(
