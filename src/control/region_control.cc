@@ -38,7 +38,56 @@ void RegionControlLoop::attach_metrics(obs::MetricsRegistry& registry,
 const ControlActions& RegionControlLoop::tick(TimeNs now, DurationNs span) {
   const std::vector<DurationNs> cumulative = port_->sample_blocked();
   const std::vector<std::uint64_t> delivered = port_->sample_delivered();
-  return tick_with(now, span, cumulative, delivered);
+  tick_with(now, span, cumulative, delivered);
+  // The ack-stall rung lives here, not in tick_with: externally-fed
+  // traces (parity/replay tests) carry no delivery state to sample, and
+  // their journals must not change shape.
+  if (config_.ack_stall_periods > 0) check_ack_stall(now);
+  return actions_;
+}
+
+void RegionControlLoop::check_ack_stall(TimeNs now) {
+  const DeliverySample d = port_->sample_delivery_state();
+  if (!d.enabled) return;
+  bool any_up = false;
+  for (const char down : down_) {
+    if (down == 0) {
+      any_up = true;
+      break;
+    }
+  }
+  // A stall with every channel quarantined is expected (nothing can
+  // deliver, let alone ack); the reconnect machinery owns that case.
+  const bool stalled = d.unacked > 0 && d.cum_ack == prev_cum_ack_ && any_up;
+  prev_cum_ack_ = d.cum_ack;
+  if (!stalled) {
+    ack_stall_streak_ = 0;
+    return;
+  }
+  if (++ack_stall_streak_ < config_.ack_stall_periods) return;
+  ack_stall_streak_ = 0;
+  ++ack_stalls_;
+  if (journal_ != nullptr) {
+    obs::JsonLine line;
+    line.str("ev", "ack_stall")
+        .num("t", static_cast<std::int64_t>(now))
+        .num("ack", d.cum_ack)
+        .num("unacked", d.unacked);
+    journal_->append(line.finish());
+  }
+  watchdog_escalate(now, actions_.aggregate_block);
+}
+
+void RegionControlLoop::note_replay(TimeNs now, int j, std::uint64_t tuples,
+                                    std::uint64_t bytes) {
+  if (journal_ == nullptr) return;
+  obs::JsonLine line;
+  line.str("ev", "replay")
+      .num("t", static_cast<std::int64_t>(now))
+      .num("ch", static_cast<std::int64_t>(j))
+      .num("tuples", tuples)
+      .num("bytes", bytes);
+  journal_->append(line.finish());
 }
 
 const ControlActions& RegionControlLoop::tick_with(

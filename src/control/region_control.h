@@ -49,6 +49,14 @@ struct ControlLoopConfig {
   /// watchdog transition lines. Off by default so the committed golden
   /// journal (tests/golden/decision_journal.jsonl) keeps its shape.
   bool journal_ticks = false;
+
+  /// Ack-stall watchdog rung (at-least-once delivery, DESIGN.md §10):
+  /// escalate after this many consecutive tick() periods during which
+  /// the region reports unacked tuples, no cumulative-ack progress, and
+  /// at least one unquarantined channel. The check samples the port in
+  /// tick() only — tick_with() traces (the parity/replay seam) carry no
+  /// delivery state, so their journals are unaffected. 0 disables.
+  int ack_stall_periods = 0;
 };
 
 class RegionControlLoop {
@@ -98,6 +106,17 @@ class RegionControlLoop {
     return down_[static_cast<std::size_t>(j)] != 0;
   }
 
+  /// Journals a crash-replay event (at-least-once delivery): `tuples`
+  /// unacked tuples totalling `bytes` moved from channel `j`'s replay
+  /// buffer onto the survivors. Substrates call this next to
+  /// mark_channel_down so the journal shows recovery and load movement
+  /// as one decision sequence.
+  void note_replay(TimeNs now, int j, std::uint64_t tuples,
+                   std::uint64_t bytes);
+
+  /// Ack-stall escalations fired so far (see ack_stall_periods).
+  std::uint64_t ack_stalls() const { return ack_stalls_; }
+
   int watchdog_stage() const { return stage_; }
   const ControlActions& last_actions() const { return actions_; }
   const ControlLoopConfig& config() const { return config_; }
@@ -107,6 +126,7 @@ class RegionControlLoop {
  private:
   void watchdog_escalate(TimeNs now, double aggregate);
   void watchdog_unwind(TimeNs now, double aggregate);
+  void check_ack_stall(TimeNs now);
 
   RegionPort* port_;
   SplitPolicy* policy_;
@@ -122,6 +142,11 @@ class RegionControlLoop {
   int stage_ = 0;
   int hot_streak_ = 0;
   int calm_streak_ = 0;
+
+  /// Ack-stall rung state (tick()-sampled only; see ack_stall_periods).
+  std::uint64_t prev_cum_ack_ = 0;
+  int ack_stall_streak_ = 0;
+  std::uint64_t ack_stalls_ = 0;
 
   ControlActions actions_;
   obs::DecisionJournal* journal_ = nullptr;

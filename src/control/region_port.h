@@ -21,6 +21,17 @@
 
 namespace slb::control {
 
+/// Snapshot of a region's at-least-once delivery state (DESIGN.md §10),
+/// sampled once per period for the ack-stall watchdog rung. Substrates
+/// without delivery semantics return the default ({enabled = false}).
+struct DeliverySample {
+  bool enabled = false;
+  /// Highest contiguously released sequence acked back to the splitter.
+  std::uint64_t cum_ack = 0;
+  /// Tuples currently held for replay (buffered + pending re-send).
+  std::uint64_t unacked = 0;
+};
+
 class RegionPort {
  public:
   virtual ~RegionPort() = default;
@@ -48,6 +59,11 @@ class RegionPort {
   /// `high == 0` disables shedding.
   virtual void apply_shed_watermarks(std::uint64_t high,
                                      std::uint64_t low) = 0;
+
+  /// At-least-once delivery state for the ack-stall watchdog rung.
+  /// Deliberately non-pure: substrates without delivery semantics (the
+  /// flow pipeline, mock ports in tests) inherit the disabled default.
+  virtual DeliverySample sample_delivery_state() { return {}; }
 };
 
 /// Everything the control loop decided in one period, returned from

@@ -1,0 +1,87 @@
+// Per-channel in-flight replay buffer (DESIGN.md §10).
+//
+// The splitter appends every tuple it sends on a channel (sequence,
+// wire-size, payload) and trims on cumulative acks from the merger. On a
+// crash the whole buffer is taken and re-sent onto surviving channels.
+// The buffer is byte-capped: `would_block` tells the splitter to treat
+// the channel like a full send buffer, back-pressuring the source, so an
+// ack stall cannot pin unbounded memory.
+//
+// Payload is a template parameter because the two substrates buffer
+// different things: the sim buffers sim::Tuple values, the runtime
+// buffers encoded wire frames (std::vector<uint8_t>).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+namespace slb::delivery {
+
+template <typename Payload>
+class ReplayBuffer {
+ public:
+  struct Entry {
+    std::uint64_t seq = 0;
+    std::size_t bytes = 0;
+    Payload payload{};
+  };
+
+  /// `byte_cap == 0` means unbounded (tests only; real configs cap).
+  explicit ReplayBuffer(std::size_t byte_cap = 0) : cap_(byte_cap) {}
+
+  /// True when admitting `next_bytes` more would exceed the cap. An
+  /// empty buffer always admits — otherwise one tuple larger than the
+  /// cap would wedge the region instead of merely serializing it.
+  bool would_block(std::size_t next_bytes) const {
+    return cap_ != 0 && !entries_.empty() && bytes_ + next_bytes > cap_;
+  }
+
+  void push(std::uint64_t seq, std::size_t bytes, Payload payload) {
+    bytes_ += bytes;
+    entries_.push_back(Entry{seq, bytes, std::move(payload)});
+  }
+
+  /// Cumulative ack: every sequence below `cum_ack` has been released
+  /// downstream. Returns the number of entries dropped. Entries are not
+  /// sorted after a replay lands fresh sends behind re-sent older
+  /// sequences, so this scans past the sorted prefix.
+  std::size_t ack(std::uint64_t cum_ack) {
+    std::size_t removed = 0;
+    while (!entries_.empty() && entries_.front().seq < cum_ack) {
+      bytes_ -= entries_.front().bytes;
+      entries_.pop_front();
+      ++removed;
+    }
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->seq < cum_ack) {
+        bytes_ -= it->bytes;
+        it = entries_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  /// Crash replay: drains the whole buffer; the caller owns re-sending
+  /// (and re-buffering on whichever channel each entry lands on).
+  std::deque<Entry> take_all() {
+    bytes_ = 0;
+    return std::exchange(entries_, {});
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t bytes() const { return bytes_; }
+  std::size_t byte_cap() const { return cap_; }
+
+ private:
+  std::size_t cap_;
+  std::size_t bytes_ = 0;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace slb::delivery

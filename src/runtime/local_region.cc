@@ -1,5 +1,7 @@
 #include "runtime/local_region.h"
 
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -28,9 +30,14 @@ LocalRegion::LocalRegion(LocalRegionConfig config,
     mc_.failovers = &metrics_.counter("splitter.failovers");
     mc_.channel_failures = &metrics_.counter("splitter.channel_failures");
     mc_.reconnects = &metrics_.counter("splitter.reconnects");
+    mc_.retransmits = &metrics_.counter("splitter.retransmits");
+    replay_bytes_g_ = &metrics_.gauge("splitter.replay_buffer_bytes");
+    ack_lag_g_ = &metrics_.gauge("splitter.ack_lag");
     merger_emitted_c_ = &metrics_.counter("merger.emitted");
     merger_gaps_c_ = &metrics_.counter("merger.gaps");
     merger_reconnects_c_ = &metrics_.counter("merger.reconnects");
+    merger_dups_c_ = &metrics_.counter("merger.dup_discards");
+    merger_lates_c_ = &metrics_.counter("merger.late_discards");
     merger_depth_g_ = &metrics_.gauge("merger.max_depth");
     for (int j = 0; j < config_.workers; ++j) {
       service_hists_[static_cast<std::size_t>(j)] = &metrics_.histogram(
@@ -69,10 +76,28 @@ LocalRegion::LocalRegion(LocalRegionConfig config,
         config_.multiplies, config_.work_mode,
         service_hists_[static_cast<std::size_t>(j)]));
   }
+  // At-least-once bring-up: the merger->splitter ack connection (the
+  // reverse hop cumulative acks ride on) and one replay buffer per
+  // connection. The splitter reads its end non-blocking between sends.
+  net::Fd merger_ack_out;
+  if (alo()) {
+    net::Listener ack_listener;
+    ack_in_ = net::connect_loopback(ack_listener.port());
+    merger_ack_out = ack_listener.accept_one();
+    net::set_nodelay(merger_ack_out.get());
+    replay_.assign(static_cast<std::size_t>(config_.workers),
+                   WireReplayBuffer(config_.delivery.replay_buffer_bytes));
+  }
+
   MergerFaultConfig fault;
   fault.enabled = !config_.failure_events.empty();
   fault.gap_timeout = config_.merger_gap_timeout;
-  merger_ = std::make_unique<MergerPe>(std::move(merger_from_worker), fault);
+  MergerDeliveryConfig merger_delivery;
+  merger_delivery.mode = config_.delivery.mode;
+  merger_delivery.ack_every = config_.delivery.ack_every;
+  merger_ = std::make_unique<MergerPe>(std::move(merger_from_worker), fault,
+                                       merger_delivery,
+                                       std::move(merger_ack_out));
   pending_.resize(static_cast<std::size_t>(config_.workers));
 
   const auto n = static_cast<std::size_t>(config_.workers);
@@ -87,6 +112,7 @@ LocalRegion::LocalRegion(LocalRegionConfig config,
   control::ControlLoopConfig loop_cfg;
   loop_cfg.protection = prot_;
   loop_cfg.closed_loop_source = config_.source_interval == 0;
+  if (alo()) loop_cfg.ack_stall_periods = config_.delivery.ack_stall_periods;
   loop_ = std::make_unique<control::RegionControlLoop>(
       static_cast<control::RegionPort*>(this), policy_.get(), loop_cfg);
   if (config_.metrics) loop_->attach_metrics(metrics_, "region.");
@@ -134,11 +160,31 @@ void LocalRegion::quarantine(int j, TimeNs now, LocalRunStats& stats) {
   const auto ju = static_cast<std::size_t>(j);
   if (chan_down_[ju]) return;
   chan_down_[ju] = 1;
-  // A half-written frame died with the worker; its sequence becomes a
-  // merger gap, so the remainder must not be replayed anywhere.
+  // A half-written frame died with the worker. GapSkip: its sequence
+  // becomes a merger gap, so the remainder must not be re-sent anywhere.
+  // At-least-once: the complete frame sits in the replay buffer and will
+  // be re-sent whole onto a survivor below.
   pending_[ju].clear();
   ++stats.channel_failures;
   if (mc_.channel_failures != nullptr) mc_.channel_failures->inc();
+  if (alo()) {
+    // Queue the channel's unacked suffix for retransmission through the
+    // normal routing path (WRR over the survivors, replay-buffer back
+    // pressure included). Entries already covered by an ack raced the
+    // trim and are dropped here.
+    std::uint64_t tuples = 0;
+    std::uint64_t bytes = 0;
+    for (auto& e : replay_[ju].take_all()) {
+      if (e.seq < acked_) continue;
+      ++tuples;
+      bytes += e.bytes;
+      replay_pending_.push_back(std::move(e));
+    }
+    std::sort(replay_pending_.begin(), replay_pending_.end(),
+              [](const WireReplayBuffer::Entry& a,
+                 const WireReplayBuffer::Entry& b) { return a.seq < b.seq; });
+    loop_->note_replay(now - run_start_, j, tuples, bytes);
+  }
   backoff_[ju] = config_.reconnect_backoff_initial;
   next_reconnect_[ju] = now + backoff_[ju] + jitter(backoff_[ju] / 2 + 1);
   loop_->mark_channel_down(j);
@@ -213,6 +259,7 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
   std::size_t next_failure = 0;
 
   const TimeNs start = monotonic_now();
+  run_start_ = start;
   TimeNs next_sample = start + config_.sample_period;
 
   LocalRunStats stats;
@@ -221,6 +268,81 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
   std::vector<std::uint8_t> wire;
 
   const int n = config_.workers;
+  const bool alo = this->alo();
+
+  // At-least-once: drain the merger's cumulative acks (non-blocking) and
+  // trim the replay buffers. An ack only ever shrinks state, so doing
+  // this between any two sends is safe.
+  std::vector<std::uint8_t> ack_rd(4096);
+  const auto pump_acks = [&] {
+    if (!alo || !ack_in_.valid()) return;
+    for (;;) {
+      const ssize_t got =
+          ::recv(ack_in_.get(), ack_rd.data(), ack_rd.size(), MSG_DONTWAIT);
+      if (got < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+          return;
+        }
+        ack_in_.reset();
+        return;
+      }
+      if (got == 0) {  // merger closed its end (shutdown)
+        ack_in_.reset();
+        return;
+      }
+      ack_decoder_.feed(ack_rd.data(), static_cast<std::size_t>(got));
+      net::Frame ack;
+      while (ack_decoder_.next(ack)) {
+        if (!ack.is_ack() || ack.ack_value() <= acked_) continue;
+        acked_ = ack.ack_value();
+        for (auto& b : replay_) b.ack(acked_);
+        while (!replay_pending_.empty() &&
+               replay_pending_.front().seq < acked_) {
+          replay_pending_.pop_front();
+        }
+      }
+      if (ack_decoder_.corrupt()) {
+        ack_in_.reset();
+        return;
+      }
+    }
+  };
+
+  // Liveness sweep: a worker death is normally discovered by a failing
+  // send, but a channel nobody is sending to (its replay window is full,
+  // or traffic routes elsewhere) can die invisibly — and with its receive
+  // window closed no RST will ever surface. The stream is one-way, so a
+  // readable splitter-side socket can only mean FIN/RST: peek each live
+  // channel and quarantine the dead ones, which (at-least-once) requeues
+  // their unacked frames for replay and unfreezes the ack cursor.
+  const auto sweep_dead_channels = [&](TimeNs tnow, LocalRunStats& st) {
+    for (int k = 0; k < n; ++k) {
+      const auto ku = static_cast<std::size_t>(k);
+      if (chan_down_[ku]) continue;
+      std::uint8_t probe;
+      const ssize_t got = ::recv(to_workers_[ku].get(), &probe, 1,
+                                 MSG_DONTWAIT | MSG_PEEK);
+      if (got == 0 || (got < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                       errno != EINTR)) {
+        quarantine(k, tnow, st);
+      }
+    }
+  };
+
+  // Replay-buffer back pressure: every live candidate's unacked window
+  // is full, so the send must wait for ack progress. The wait is charged
+  // to the picked connection's blocking counter — to the control plane
+  // this is indistinguishable from (and as real as) a full socket
+  // buffer, which keeps the blocking-rate signal truthful.
+  const auto block_on_replay = [&](int j) {
+    const TimeNs b0 = monotonic_now();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    counters_.at(static_cast<std::size_t>(j)).add(monotonic_now() - b0);
+    pump_acks();
+    // The ack we are waiting for may be gated on a frame that died with
+    // its worker; only quarantine-and-replay can break that cycle.
+    sweep_dead_channels(monotonic_now(), stats);
+  };
 
   // Sequence numbers are issued from next_seq; shed tuples consume them
   // without being sent. The protection decisions themselves (throttle_,
@@ -261,9 +383,11 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
   };
   for (;;) {
     // Time-driven bookkeeping, checked every iteration (a clock read per
-    // tuple is ~20 ns, negligible next to a TCP send).
+    // tuple is ~20 ns, and the non-blocking ack read is one syscall —
+    // both negligible next to a TCP send).
     const TimeNs now = monotonic_now();
     if (now - start >= duration) break;
+    pump_acks();
     while (next_event < events.size() &&
            now - start >= events[next_event].at) {
       const auto w =
@@ -299,6 +423,24 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
       // throttle, watchdog ladder — runs in the shared control loop,
       // which samples and actuates through this region's RegionPort.
       const DurationNs span = config_.sample_period + (now - next_sample);
+      // Catch silently-dead channels once per period so the tick below
+      // sees them as down rather than merely quiet.
+      sweep_dead_channels(now, stats);
+      if (alo) {
+        std::uint64_t rb = 0;
+        std::uint64_t lag = replay_pending_.size();
+        for (const auto& b : replay_) {
+          rb += b.bytes();
+          lag += b.size();
+        }
+        for (const auto& e : replay_pending_) rb += e.bytes;
+        if (replay_bytes_g_ != nullptr) {
+          replay_bytes_g_->set(static_cast<std::int64_t>(rb));
+        }
+        if (ack_lag_g_ != nullptr) {
+          ack_lag_g_->set(static_cast<std::int64_t>(lag));
+        }
+      }
       const control::ControlActions& acts = loop_->tick(now - start, span);
 
       sync_merger_metrics();
@@ -321,7 +463,13 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
     // Announce any shed ranges that could not be delivered earlier.
     if (!gap_queue.empty()) flush_gaps(now);
 
-    if (config_.source_interval > 0) {
+    // At-least-once: frames queued for retransmission drain ahead of
+    // fresh input (and ahead of source pacing — they were released long
+    // ago). Keeping old-before-new bounds how far the merger's replay
+    // pool has to reorder.
+    const bool retransmit = alo && !replay_pending_.empty();
+
+    if (!retransmit && config_.source_interval > 0) {
       // Open loop: shed when the backlog crosses the high watermark...
       if (shed_high_ > 0 && now > next_release) {
         const std::uint64_t backlog = static_cast<std::uint64_t>(
@@ -348,9 +496,16 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
       }
     }
 
-    frame.seq = next_seq;
-    wire.clear();
-    net::encode_frame(frame, wire);
+    std::uint64_t frame_seq;
+    if (retransmit) {
+      frame_seq = replay_pending_.front().seq;
+      wire = replay_pending_.front().payload;  // popped only on success
+    } else {
+      frame_seq = next_seq;
+      frame.seq = next_seq;
+      wire.clear();
+      net::encode_frame(frame, wire);
+    }
 
     int j = policy_->pick_connection();
     if (chan_down_[static_cast<std::size_t>(j)]) {
@@ -375,6 +530,7 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
       j = live;
     }
 
+    int delivered_to = -1;
     if (policy_->reroute_on_block()) {
       // Section 4.4 baseline: divert whole frames to any connection whose
       // kernel buffer accepts them without blocking. A partially-accepted
@@ -394,6 +550,9 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
         const auto ku = static_cast<std::size_t>(k);
         if (chan_down_[ku]) continue;
         if (!pending_[ku].empty()) continue;
+        // A full replay buffer back-pressures exactly like a full kernel
+        // buffer: the re-route scan walks past it.
+        if (alo && replay_[ku].would_block(wire.size())) continue;
         const std::size_t accepted =
             senders_[ku]->try_send(wire.data(), wire.size());
         if (senders_[ku]->broken()) {
@@ -414,6 +573,11 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
       }
       if (target < 0) {
         if (chan_down_[static_cast<std::size_t>(j)]) continue;  // re-pick
+        if (alo &&
+            replay_[static_cast<std::size_t>(j)].would_block(wire.size())) {
+          block_on_replay(j);
+          continue;
+        }
         // Everything is full: elect to block on the picked connection,
         // exactly like the paper's splitter.
         flush_pending(j, /*blocking=*/true);
@@ -428,14 +592,15 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
         ++stats.rerouted;
         if (mc_.rerouted != nullptr) mc_.rerouted->inc();
       }
+      delivered_to = target;
     } else {
-      bool delivered = false;
-      for (int step = 0; step < n && !delivered; ++step) {
+      for (int step = 0; step < n && delivered_to < 0; ++step) {
         const int k = (j + step) % n;
         const auto ku = static_cast<std::size_t>(k);
         if (chan_down_[ku]) continue;
+        if (alo && replay_[ku].would_block(wire.size())) continue;
         if (senders_[ku]->send_all(wire.data(), wire.size())) {
-          delivered = true;
+          delivered_to = k;
           if (k != j) {
             ++stats.failovers;
             if (mc_.failovers != nullptr) mc_.failovers->inc();
@@ -447,7 +612,26 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
           quarantine(k, now, stats);
         }
       }
-      if (!delivered) continue;  // everyone is down; retry after events
+      if (delivered_to < 0) {
+        // Everyone down — retry after events — or (at-least-once) every
+        // survivor's replay window is full: wait for ack progress.
+        if (alo && !chan_down_[static_cast<std::size_t>(j)]) {
+          block_on_replay(j);
+        }
+        continue;
+      }
+    }
+    if (alo) {
+      // The frame is now in flight and unacked: it joins the replay
+      // buffer of whichever connection carried it.
+      replay_[static_cast<std::size_t>(delivered_to)].push(
+          frame_seq, wire.size(), wire);
+    }
+    if (retransmit) {
+      replay_pending_.pop_front();
+      ++stats.retransmits;
+      if (mc_.retransmits != nullptr) mc_.retransmits->inc();
+      continue;  // a re-send is not a fresh sequence: no sent/pacing
     }
     ++stats.sent;
     if (mc_.sent != nullptr) mc_.sent->inc();
@@ -477,6 +661,49 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
   // Pending shed announcements must reach the merger before the FINs, or
   // it would gate forever (plain mode) or mis-account trailing sheds.
   flush_gaps(monotonic_now());
+  // At-least-once: frames still queued for retransmission must reach a
+  // survivor before the FINs, or their sequences would be lost after
+  // all. Reconnect attempts continue (a restart may be pending), but the
+  // drain is bounded — a region that lost every worker for good reports
+  // the loss instead of hanging.
+  if (alo) {
+    const TimeNs drain_deadline = monotonic_now() + millis(2000);
+    while (!replay_pending_.empty() && monotonic_now() < drain_deadline) {
+      pump_acks();  // an in-flight ack may cover the front entries
+      if (replay_pending_.empty()) break;
+      const TimeNs dnow = monotonic_now();
+      // A channel that died after the last sweep would otherwise soak up
+      // the whole drain budget in blocked sends below.
+      sweep_dead_channels(dnow, stats);
+      int live = -1;
+      for (int k = 0; k < n; ++k) {
+        const auto ku = static_cast<std::size_t>(k);
+        if (chan_down_[ku] && dnow >= next_reconnect_[ku]) {
+          try_reconnect(k, dnow, stats);
+        }
+        if (!chan_down_[ku] && live < 0) live = k;
+      }
+      if (live < 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      const auto lu = static_cast<std::size_t>(live);
+      flush_pending(live, /*blocking=*/true);
+      if (!pending_[lu].empty()) {
+        quarantine(live, monotonic_now(), stats);
+        continue;
+      }
+      WireReplayBuffer::Entry& e = replay_pending_.front();
+      if (senders_[lu]->send_all(e.payload.data(), e.payload.size())) {
+        replay_[lu].push(e.seq, e.bytes, std::move(e.payload));
+        replay_pending_.pop_front();
+        ++stats.retransmits;
+        if (mc_.retransmits != nullptr) mc_.retransmits->inc();
+      } else {
+        quarantine(live, monotonic_now(), stats);
+      }
+    }
+  }
   const std::vector<std::uint8_t> fin = net::fin_bytes();
   for (int j = 0; j < n; ++j) {
     const auto ju = static_cast<std::size_t>(j);
@@ -494,6 +721,8 @@ LocalRunStats LocalRegion::run(DurationNs duration) {
   stats.elapsed = monotonic_now() - start;
   stats.emitted = merger_->emitted();
   stats.gaps = merger_->gaps();
+  stats.dup_discards = merger_->dup_discards();
+  stats.late_discards = merger_->late_discards();
   stats.order_ok = merger_->order_ok() &&
                    stats.emitted + stats.gaps == stats.sent + stats.shed;
   stats.blocked = counters_.sample();
@@ -517,6 +746,16 @@ void LocalRegion::sync_merger_metrics() {
   if (reconnects > merger_reconnects_seen_) {
     merger_reconnects_c_->inc(reconnects - merger_reconnects_seen_);
     merger_reconnects_seen_ = reconnects;
+  }
+  const std::uint64_t dups = merger_->dup_discards();
+  if (dups > merger_dups_seen_) {
+    merger_dups_c_->inc(dups - merger_dups_seen_);
+    merger_dups_seen_ = dups;
+  }
+  const std::uint64_t lates = merger_->late_discards();
+  if (lates > merger_lates_seen_) {
+    merger_lates_c_->inc(lates - merger_lates_seen_);
+    merger_lates_seen_ = lates;
   }
   merger_depth_g_->set(
       static_cast<std::int64_t>(merger_->max_queue_depth()));

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -20,9 +21,12 @@
 #include "control/region_port.h"
 #include "core/blocking_counter.h"
 #include "core/policies.h"
+#include "delivery/delivery.h"
+#include "delivery/replay_buffer.h"
 #include "obs/metrics.h"
 #include "runtime/merger_pe.h"
 #include "runtime/worker_pe.h"
+#include "transport/framing.h"
 #include "transport/instrumented_sender.h"
 #include "util/time.h"
 
@@ -54,7 +58,7 @@ struct LocalRegionConfig {
   /// time, keeping capacities stable on machines with fewer cores than
   /// PEs (see WorkMode).
   WorkMode work_mode = WorkMode::kSpin;
-  /// Tuple payload size on the wire (plus the 12-byte frame header).
+  /// Tuple payload size on the wire (plus the 16-byte frame header).
   std::size_t payload_bytes = 64;
   /// Kernel send/receive buffer request per socket; small values make
   /// back pressure (and therefore blocking) visible quickly.
@@ -106,6 +110,14 @@ struct LocalRegionConfig {
         watchdog_periods);
   }
 
+  // --- Delivery semantics (DESIGN.md §10) ------------------------------
+
+  /// GapSkip (default: byte-identical to the pre-delivery behavior) or
+  /// at-least-once. At-least-once adds a merger->splitter ack connection,
+  /// per-connection replay buffers of unacked wire frames, and
+  /// crash-triggered retransmission through the normal routing path.
+  delivery::DeliveryConfig delivery;
+
   // --- Observability (DESIGN.md §8) ------------------------------------
 
   /// Wire the region's MetricsRegistry into the splitter loop, worker PEs
@@ -136,6 +148,15 @@ struct LocalRunStats {
   std::uint64_t reconnects = 0;
   /// Tuples diverted because their picked connection was quarantined.
   std::uint64_t failovers = 0;
+  /// At-least-once only: frames re-sent from replay buffers after a
+  /// quarantine. Not counted in `sent` — `sent` stays a count of unique
+  /// sequence numbers delivered.
+  std::uint64_t retransmits = 0;
+  /// Replay echoes the merger discarded below its release cursor (ALO).
+  std::uint64_t dup_discards = 0;
+  /// Tuples that arrived after their sequence was declared a gap
+  /// (GapSkip fault mode; previously an invisible wedge).
+  std::uint64_t late_discards = 0;
   /// Cumulative blocked ns per connection at the end of the run.
   std::vector<DurationNs> blocked;
   /// Final allocation weights.
@@ -211,6 +232,24 @@ class LocalRegion : private control::RegionPort {
     shed_high_ = high;
     shed_low_ = low;
   }
+  /// At-least-once: the control loop's ack-stall watchdog rung samples
+  /// the splitter-side view of the ack stream. Splitter-thread state,
+  /// read from the tick on that same thread.
+  control::DeliverySample sample_delivery_state() override {
+    control::DeliverySample s;
+    s.enabled = alo();
+    if (s.enabled) {
+      s.cum_ack = acked_;
+      std::uint64_t unacked = replay_pending_.size();
+      for (const auto& b : replay_) unacked += b.size();
+      s.unacked = unacked;
+    }
+    return s;
+  }
+
+  bool alo() const {
+    return config_.delivery.mode == delivery::DeliveryMode::kAtLeastOnce;
+  }
 
   /// Drains connection k's userspace remainder buffer (re-routing mode).
   /// Non-blocking mode sends what the kernel accepts; blocking mode
@@ -252,15 +291,23 @@ class LocalRegion : private control::RegionPort {
     obs::Counter* failovers = nullptr;
     obs::Counter* channel_failures = nullptr;
     obs::Counter* reconnects = nullptr;
+    obs::Counter* retransmits = nullptr;
   } mc_;
+  /// Delivery gauges (DESIGN.md §10, null when metrics off).
+  obs::Gauge* replay_bytes_g_ = nullptr;
+  obs::Gauge* ack_lag_g_ = nullptr;
   /// Merger-sync handles and the last values already folded in.
   obs::Counter* merger_emitted_c_ = nullptr;
   obs::Counter* merger_gaps_c_ = nullptr;
   obs::Counter* merger_reconnects_c_ = nullptr;
+  obs::Counter* merger_dups_c_ = nullptr;
+  obs::Counter* merger_lates_c_ = nullptr;
   obs::Gauge* merger_depth_g_ = nullptr;
   std::uint64_t merger_emitted_seen_ = 0;
   std::uint64_t merger_gaps_seen_ = 0;
   std::uint64_t merger_reconnects_seen_ = 0;
+  std::uint64_t merger_dups_seen_ = 0;
+  std::uint64_t merger_lates_seen_ = 0;
   /// Per-worker service histograms, passed to every (re)spawned PE.
   std::vector<obs::Histogram*> service_hists_;
   std::vector<std::vector<std::uint8_t>> pending_;
@@ -288,6 +335,22 @@ class LocalRegion : private control::RegionPort {
   double throttle_ = 1.0;
   std::uint64_t shed_high_ = 0;
   std::uint64_t shed_low_ = 0;
+
+  // Delivery semantics (DESIGN.md §10); splitter-thread only. Buffers
+  // hold encoded wire frames so a replay is a plain re-send.
+  using WireReplayBuffer = delivery::ReplayBuffer<std::vector<std::uint8_t>>;
+  std::vector<WireReplayBuffer> replay_;
+  /// Frames awaiting retransmission (sorted by sequence); drained ahead
+  /// of fresh sends so per-connection order stays as monotone as a
+  /// replay allows.
+  std::deque<WireReplayBuffer::Entry> replay_pending_;
+  /// Splitter-side end of the merger's ack connection.
+  net::Fd ack_in_;
+  net::FrameDecoder ack_decoder_;
+  /// Highest cumulative ack received from the merger.
+  std::uint64_t acked_ = 0;
+  /// run() start time, for journal timestamps from member functions.
+  TimeNs run_start_ = 0;
 
   bool ran_ = false;
 };

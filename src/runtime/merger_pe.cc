@@ -1,12 +1,14 @@
 #include "runtime/merger_pe.h"
 
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <deque>
 #include <limits>
 #include <map>
+#include <set>
 
 #include "transport/framing.h"
 #include "util/log.h"
@@ -14,8 +16,12 @@
 
 namespace slb::rt {
 
-MergerPe::MergerPe(std::vector<net::Fd> from_workers, MergerFaultConfig fault)
-    : from_workers_(std::move(from_workers)), fault_(fault) {
+MergerPe::MergerPe(std::vector<net::Fd> from_workers, MergerFaultConfig fault,
+                   MergerDeliveryConfig delivery, net::Fd ack_out)
+    : from_workers_(std::move(from_workers)),
+      fault_(fault),
+      delivery_(delivery),
+      ack_out_(std::move(ack_out)) {
   if (fault_.enabled) listener_ = std::make_unique<net::Listener>();
   thread_ = std::thread([this] { run(); });
 }
@@ -32,6 +38,7 @@ void MergerPe::run() {
   try {
     const std::size_t n = from_workers_.size();
     const bool ft = listener_ != nullptr;
+    const bool alo = delivery_.mode == delivery::DeliveryMode::kAtLeastOnce;
     std::vector<net::FrameDecoder> decoders(n);
     std::vector<std::deque<std::uint64_t>> queues(n);
     std::vector<bool> finished(n, false);  // clean FIN received
@@ -49,6 +56,14 @@ void MergerPe::run() {
 
     TimeNs last_progress = monotonic_now();
     net::Frame frame;
+
+    // Replays break the "within one connection, arrival order == sequence
+    // order" invariant the head-only release scan depends on: a re-sent
+    // old sequence can land behind newer sequences already queued on the
+    // same stream, where the scan would never see it. Such stragglers are
+    // parked here and drained alongside the queue heads (at-least-once
+    // only — nothing is ever re-sent otherwise).
+    std::set<std::uint64_t> pool;
 
     // Shed ranges announced by gap frames: first seq -> count. These
     // sequences were dropped at the source and will never arrive; ordered
@@ -83,18 +98,73 @@ void MergerPe::run() {
       return skipped;
     };
 
+    // A head *below* the release cursor cannot be emitted again without
+    // breaking strict order; drop it, but account for why it happened.
+    // At-least-once: a replay echo — the original raced a crash and won
+    // (dup_discard, expected and harmless). Fault mode: a tuple that
+    // arrived after its sequence was declared a gap (late_discard — the
+    // previously-invisible wedge this counter makes visible). Plain mode
+    // declares neither gaps nor replays, so a stale head there is a real
+    // order violation.
+    const auto discard_stale = [&](std::size_t j) {
+      queues[j].pop_front();
+      if (alo) {
+        dup_discards_.fetch_add(1, std::memory_order_relaxed);
+      } else if (ft) {
+        late_discards_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        order_ok_.store(false, std::memory_order_relaxed);
+      }
+    };
+
+    // Cumulative-ack pump (at-least-once): tell the splitter the highest
+    // contiguously released sequence so it can trim its replay buffers.
+    // Non-blocking, drop-tolerant writes — a lost ack only delays the
+    // trim until the next one, because each ack carries the full cursor.
+    std::uint64_t last_acked = 0;
+    std::vector<std::uint8_t> ack_buf;  // unwritten remainder of last ack
+    const auto pump_acks = [&](bool force) {
+      if (!alo || !ack_out_.valid()) return;
+      if (ack_buf.empty()) {
+        if (expected == last_acked) return;
+        if (!force && expected - last_acked <
+                          static_cast<std::uint64_t>(delivery_.ack_every)) {
+          return;
+        }
+        ack_buf = net::ack_bytes(expected);
+        last_acked = expected;
+      }
+      const ssize_t put = ::send(ack_out_.get(), ack_buf.data(),
+                                 ack_buf.size(), MSG_DONTWAIT | MSG_NOSIGNAL);
+      if (put < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+        SLB_ERROR() << "merger: ack channel lost, acks disabled";
+        ack_out_.reset();
+        ack_buf.clear();
+        return;
+      }
+      ack_buf.erase(ack_buf.begin(), ack_buf.begin() + put);
+    };
+
     // Release in global sequence order: the expected tuple can only be
-    // at the head of one of the per-connection FIFOs. A head *below*
-    // expected means a sequence we declared dead arrived after all — an
-    // order violation (the gap skip fired too early).
+    // at the head of one of the per-connection FIFOs.
     const auto release = [&] {
       bool progressed = true;
       while (progressed) {
         progressed = skip_shed();
+        while (!pool.empty() && *pool.begin() < expected) {
+          pool.erase(pool.begin());
+          dup_discards_.fetch_add(1, std::memory_order_relaxed);
+        }
+        while (!pool.empty() && *pool.begin() == expected) {
+          pool.erase(pool.begin());
+          ++expected;
+          emitted_.fetch_add(1, std::memory_order_relaxed);
+          progressed = true;
+        }
         for (std::size_t j = 0; j < n; ++j) {
           while (!queues[j].empty() && queues[j].front() < expected) {
-            order_ok_.store(false, std::memory_order_relaxed);
-            queues[j].pop_front();
+            discard_stale(j);
           }
           while (!queues[j].empty() && queues[j].front() == expected) {
             queues[j].pop_front();
@@ -120,6 +190,15 @@ void MergerPe::run() {
         }
         if (frame.is_gap()) {
           note_shed(frame.gap_first(), frame.gap_count());
+          continue;
+        }
+        if (alo && !queues[j].empty() && frame.seq < queues[j].back()) {
+          // Replay echo behind newer queued sequences: park it in the
+          // side pool (an insert collision is a duplicate of a pooled
+          // duplicate).
+          if (!pool.insert(frame.seq).second) {
+            dup_discards_.fetch_add(1, std::memory_order_relaxed);
+          }
           continue;
         }
         queues[j].push_back(frame.seq);
@@ -170,11 +249,16 @@ void MergerPe::run() {
           tags.push_back(-2 - static_cast<long>(i));
         }
       }
-      const int rc = ::poll(pfds.data(), pfds.size(), ft ? 100 : 1000);
+      const int rc =
+          ::poll(pfds.data(), pfds.size(), (ft || alo) ? 100 : 1000);
       if (rc < 0) {
         if (errno == EINTR) continue;
         break;
       }
+      // Idle poll: flush ack progress below the ack_every threshold so a
+      // quiescent splitter (blocked on a full replay buffer) still hears
+      // about every release eventually.
+      if (rc == 0) pump_acks(/*force=*/true);
       std::vector<Pending> arrived;
       for (std::size_t i = 0; i < pfds.size(); ++i) {
         if (!(pfds[i].revents & (POLLIN | POLLHUP))) continue;
@@ -243,8 +327,9 @@ void MergerPe::run() {
       for (Pending& p : arrived) pending.push_back(std::move(p));
 
       release();
+      pump_acks(/*force=*/false);
 
-      if (ft) {
+      if (ft && !alo) {
         // Gap detection: tuples are queued past the expected sequence and
         // nothing has been released for a whole timeout — the sequences
         // we are gating on died with a worker. Skip to the next queued
@@ -269,21 +354,28 @@ void MergerPe::run() {
     // Flush anything still queued (all inputs done). Plain mode: the
     // remainder must already be in order across queues — modulo declared
     // shed ranges — anything else is an order violation. Fault mode:
-    // trailing gaps are skipped like any other.
+    // trailing gaps are skipped like any other. Pooled replays join the
+    // scan as one extra (sorted) queue.
+    if (!pool.empty()) {
+      queues.emplace_back(pool.begin(), pool.end());
+      pool.clear();
+    }
     for (;;) {
       skip_shed();
-      std::size_t best = n;
-      for (std::size_t j = 0; j < n; ++j) {
+      std::size_t best = queues.size();
+      for (std::size_t j = 0; j < queues.size(); ++j) {
         if (queues[j].empty()) continue;
-        if (best == n || queues[j].front() < queues[best].front()) best = j;
+        if (best == queues.size() || queues[j].front() < queues[best].front()) {
+          best = j;
+        }
       }
-      if (best == n) break;
+      if (best == queues.size()) break;
       const std::uint64_t head = queues[best].front();
-      queues[best].pop_front();
       if (head < expected) {
-        order_ok_.store(false, std::memory_order_relaxed);
+        discard_stale(best);
         continue;
       }
+      queues[best].pop_front();
       if (head > expected) {
         if (ft) {
           gaps_.fetch_add(head - expected, std::memory_order_relaxed);
@@ -297,6 +389,9 @@ void MergerPe::run() {
     }
     // Trailing sheds (the very last sequences of the run were dropped).
     skip_shed();
+    // Final cumulative ack — best-effort; the splitter may already be
+    // tearing down, and nothing downstream depends on it landing.
+    pump_acks(/*force=*/true);
   } catch (const std::exception& e) {
     SLB_ERROR() << "merger died: " << e.what();
   }

@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "delivery/delivery.h"
 #include "transport/socket.h"
 #include "util/time.h"
 
@@ -35,14 +36,29 @@ struct MergerFaultConfig {
   /// How long the expected sequence may fail to arrive — while later
   /// tuples sit queued — before it is declared dead and skipped. Must
   /// comfortably exceed the worst-case reorder wait of a healthy run.
+  /// Ignored under at-least-once delivery: a missing sequence is
+  /// replayed by the splitter, so skipping it would manufacture a gap
+  /// the replay is about to fill.
   DurationNs gap_timeout = millis(500);
+};
+
+struct MergerDeliveryConfig {
+  delivery::DeliveryMode mode = delivery::DeliveryMode::kGapSkip;
+  /// Piggyback a cumulative ack after this many releases; smaller
+  /// progress is flushed whenever the poll loop goes idle.
+  int ack_every = 64;
 };
 
 class MergerPe {
  public:
   /// Takes ownership of all worker connections; starts immediately.
+  /// `ack_out` (at-least-once only) is the merger->splitter reverse
+  /// connection cumulative acks ride on; writes are non-blocking and
+  /// drop-on-full — the cumulative encoding makes lost acks harmless.
   explicit MergerPe(std::vector<net::Fd> from_workers,
-                    MergerFaultConfig fault = {});
+                    MergerFaultConfig fault = {},
+                    MergerDeliveryConfig delivery = {},
+                    net::Fd ack_out = {});
 
   ~MergerPe();
 
@@ -81,6 +97,18 @@ class MergerPe {
   /// Sequence numbers skipped because their tuples died with a worker.
   std::uint64_t gaps() const { return gaps_.load(std::memory_order_relaxed); }
 
+  /// Replayed duplicates discarded below the release cursor
+  /// (at-least-once only; see DESIGN.md §10).
+  std::uint64_t dup_discards() const {
+    return dup_discards_.load(std::memory_order_relaxed);
+  }
+
+  /// Tuples that arrived after their sequence was declared a gap
+  /// (GapSkip fault mode: the gap skip fired, then the tuple showed up).
+  std::uint64_t late_discards() const {
+    return late_discards_.load(std::memory_order_relaxed);
+  }
+
   /// Hello-frame re-admissions accepted on the reconnect port.
   std::uint64_t reconnects() const {
     return reconnects_.load(std::memory_order_relaxed);
@@ -96,10 +124,14 @@ class MergerPe {
 
   std::vector<net::Fd> from_workers_;
   MergerFaultConfig fault_;
+  MergerDeliveryConfig delivery_;
+  net::Fd ack_out_;
   std::unique_ptr<net::Listener> listener_;
   std::atomic<std::uint64_t> emitted_{0};
   std::atomic<std::size_t> max_depth_{0};
   std::atomic<std::uint64_t> gaps_{0};
+  std::atomic<std::uint64_t> dup_discards_{0};
+  std::atomic<std::uint64_t> late_discards_{0};
   std::atomic<std::uint64_t> reconnects_{0};
   std::atomic<bool> done_{false};
   std::atomic<bool> closing_{false};

@@ -9,7 +9,8 @@ Merger::Merger(Simulator* sim, int connections, std::size_t capacity,
     : sim_(sim),
       on_space_(static_cast<std::size_t>(connections)),
       emitted_from_(static_cast<std::size_t>(connections), 0),
-      ordered_(ordered) {
+      ordered_(ordered),
+      last_enq_(static_cast<std::size_t>(connections), 0) {
   assert(sim != nullptr);
   assert(connections > 0);
   queues_.reserve(static_cast<std::size_t>(connections));
@@ -44,13 +45,72 @@ bool Merger::emit(int from, const Tuple& t) {
   return true;
 }
 
+void Merger::set_on_ack(std::function<void(std::uint64_t)> fn,
+                        DurationNs latency) {
+  on_ack_ = std::move(fn);
+  ack_latency_ = latency;
+}
+
+void Merger::discard_stale() {
+  // A sequence below the release cursor cannot be emitted again without
+  // breaking strict order. Under at-least-once it is a replay echo (the
+  // original raced the crash and won); under GapSkip it is a tuple that
+  // outlived its own gap declaration — previously invisible, now counted.
+  if (mode_ == delivery::DeliveryMode::kAtLeastOnce) {
+    ++dup_discards_;
+    if (metrics_.dup_discards != nullptr) metrics_.dup_discards->inc();
+  } else {
+    ++late_discards_;
+    if (metrics_.late_discards != nullptr) metrics_.late_discards->inc();
+  }
+}
+
+void Merger::maybe_schedule_ack() {
+  if (!on_ack_ || ack_scheduled_ || expected_ <= acked_sent_) return;
+  // One coalesced in-flight ack at a time: the value is read at fire
+  // time, so progress made while it was in flight rides along — the
+  // cumulative encoding makes dropped/merged acks free.
+  ack_scheduled_ = true;
+  sim_->schedule_after(ack_latency_, [this] {
+    ack_scheduled_ = false;
+    if (expected_ > acked_sent_) {
+      acked_sent_ = expected_;
+      on_ack_(acked_sent_);
+      maybe_schedule_ack();  // progress during the flight, if any
+    }
+  });
+}
+
 bool Merger::try_push(int j, Tuple t) {
-  auto& q = queues_[static_cast<std::size_t>(j)];
+  const auto ju = static_cast<std::size_t>(j);
+  if (ordered_ && t.seq < expected_) {
+    // Dedup window: already released (or declared a gap). Accept-and-drop
+    // so the worker does not retry a tuple that must never be emitted.
+    discard_stale();
+    return true;
+  }
+  auto& q = queues_[ju];
+  if (ordered_ && mode_ == delivery::DeliveryMode::kAtLeastOnce &&
+      !q.empty() && t.seq < last_enq_[ju]) {
+    // A replayed tuple landed behind newer sequences already queued on
+    // this connection; the head-only drain scan would never reach it.
+    // Park it in the sequence-keyed side pool instead of wedging the
+    // FIFO. An insert collision means this exact sequence was already
+    // pooled — a duplicate of a duplicate.
+    if (replay_pool_.emplace(t.seq, std::make_pair(j, t)).second) {
+      ++queued_total_;
+    } else {
+      discard_stale();
+    }
+    drain();
+    return true;
+  }
   if (q.full()) return false;
   // Ordered: queue and release strictly by sequence number. Unordered
   // (parallel sinks): the same machinery with no sequence gating — the
   // queue only holds tuples the downstream refused.
   q.push(t);
+  last_enq_[ju] = t.seq;
   ++queued_total_;
   drain();
   return true;
@@ -87,9 +147,41 @@ void Merger::drain() {
       if (metrics_.gaps != nullptr) metrics_.gaps->inc();
       progressed = true;
     }
+    // Out-of-order replays parked in the side pool (at-least-once only).
+    while (!replay_pool_.empty() &&
+           replay_pool_.begin()->first < expected_) {
+      discard_stale();
+      replay_pool_.erase(replay_pool_.begin());
+      --queued_total_;
+      progressed = true;
+    }
+    while (!replay_pool_.empty() &&
+           replay_pool_.begin()->first == expected_) {
+      const auto& [from, t] = replay_pool_.begin()->second;
+      if (!emit(from, t)) {
+        downstream_full = true;
+        break;
+      }
+      replay_pool_.erase(replay_pool_.begin());
+      --queued_total_;
+      ++expected_;
+      progressed = true;
+    }
+    if (downstream_full) break;
     for (std::size_t j = 0; j < n; ++j) {
       auto& q = queues_[j];
       if (ordered_) {
+        // Stale heads (sequence already released or skipped) would wedge
+        // this FIFO forever: a duplicate of a tuple that was still queued
+        // elsewhere when it arrived, or a late arrival whose sequence was
+        // declared a gap meanwhile. Drop and count them.
+        while (!q.empty() && q.front().seq < expected_) {
+          discard_stale();
+          (void)q.pop();
+          --queued_total_;
+          freed[j] = true;
+          progressed = true;
+        }
         while (!q.empty() && q.front().seq == expected_) {
           if (!emit(static_cast<int>(j), q.front())) {
             downstream_full = true;
@@ -119,6 +211,7 @@ void Merger::drain() {
       sim_->schedule_after(0, on_space_[j]);
     }
   }
+  maybe_schedule_ack();
 }
 
 }  // namespace slb::sim

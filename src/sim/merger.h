@@ -12,8 +12,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <utility>
 #include <vector>
 
+#include "delivery/delivery.h"
 #include "obs/metrics.h"
 #include "sim/event.h"
 #include "sim/queues.h"
@@ -29,6 +31,8 @@ struct MergerMetrics {
   obs::Counter* gaps = nullptr;           // lost sequences skipped over
   obs::Histogram* reorder_depth = nullptr;  // queued tuples at each emit
   obs::Histogram* gap_wait_ns = nullptr;  // declared-lost -> skipped delay
+  obs::Counter* dup_discards = nullptr;   // replayed dupes dropped (ALO)
+  obs::Counter* late_discards = nullptr;  // post-gap arrivals dropped
 };
 
 class Merger : public TupleSink {
@@ -88,6 +92,32 @@ class Merger : public TupleSink {
   /// Observability: attach registry handles (see MergerMetrics).
   void set_metrics(const MergerMetrics& metrics) { metrics_ = metrics; }
 
+  // --- Delivery semantics (DESIGN.md §10) ------------------------------
+
+  /// Selects how stale arrivals (sequence below the release cursor) are
+  /// accounted: dup_discards under at-least-once (an expected replay
+  /// echo), late_discards under GapSkip (a tuple outliving its declared
+  /// gap — the bug this counter makes visible). Either way the tuple is
+  /// dropped and strict order is preserved.
+  void set_delivery_mode(delivery::DeliveryMode mode) { mode_ = mode; }
+
+  /// At-least-once reverse hop: after each drain that advances the
+  /// release cursor, schedule `fn(expected)` — the cumulative ack — to
+  /// fire `latency` later (one coalesced event at a time, modeling the
+  /// merger->splitter link).
+  void set_on_ack(std::function<void(std::uint64_t)> fn,
+                  DurationNs latency);
+
+  /// Replayed duplicates discarded below the release cursor (ALO).
+  std::uint64_t dup_discards() const { return dup_discards_; }
+  /// Tuples that arrived after their sequence was declared a gap.
+  std::uint64_t late_discards() const { return late_discards_; }
+  /// Replayed tuples parked in the out-of-order side pool (conservation
+  /// accounting: these are in flight but invisible to queue_size).
+  std::uint64_t pooled() const {
+    return static_cast<std::uint64_t>(replay_pool_.size());
+  }
+
   std::uint64_t emitted() const { return emitted_; }
   std::uint64_t expected_seq() const { return expected_; }
   std::size_t queue_size(int j) const {
@@ -105,6 +135,10 @@ class Merger : public TupleSink {
   void drain();
   /// Delivers one tuple downstream; false when the downstream refuses.
   bool emit(int from, const Tuple& t);
+  /// Drops a tuple whose sequence already passed the release cursor.
+  void discard_stale();
+  /// Schedules the coalesced cumulative-ack event if one is due.
+  void maybe_schedule_ack();
 
   Simulator* sim_;
   std::vector<BoundedFifo<Tuple>> queues_;
@@ -123,6 +157,25 @@ class Merger : public TupleSink {
   std::uint64_t emitted_ = 0;
   std::uint64_t gaps_ = 0;
   bool ordered_ = true;
+
+  /// Delivery semantics (DESIGN.md §10).
+  delivery::DeliveryMode mode_ = delivery::DeliveryMode::kGapSkip;
+  std::uint64_t dup_discards_ = 0;
+  std::uint64_t late_discards_ = 0;
+  /// Replays break the "within one connection, arrival order == sequence
+  /// order" invariant the head-only drain scan depends on: a re-sent old
+  /// sequence can land behind newer sequences already queued on the same
+  /// connection, where the scan would never see it. Such stragglers are
+  /// parked here, keyed by sequence (value: source connection + tuple),
+  /// and drained alongside the queue heads.
+  std::map<std::uint64_t, std::pair<int, Tuple>> replay_pool_;
+  /// Highest sequence enqueued per connection (out-of-order detector).
+  std::vector<std::uint64_t> last_enq_;
+  std::function<void(std::uint64_t)> on_ack_;
+  DurationNs ack_latency_ = 0;
+  bool ack_scheduled_ = false;
+  /// Highest cumulative ack already delivered to the splitter.
+  std::uint64_t acked_sent_ = 0;
 };
 
 }  // namespace slb::sim

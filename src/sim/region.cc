@@ -42,11 +42,14 @@ Region::Region(RegionConfig config, std::unique_ptr<SplitPolicy> policy,
                                                 &load_, &hosts_));
     workers_.back()->wire(channels_.back().get(), merger_.get());
     // Crash losses funnel into the merger so it skips the dead sequences
-    // instead of gating on tuples that will never arrive.
+    // instead of gating on tuples that will never arrive (GapSkip). Under
+    // at-least-once the lost transmissions are replayed from the
+    // splitter's buffers instead — declaring them gaps would let the
+    // cursor skip sequences a replay is about to deliver.
     const auto lost = [this](const Tuple& t) {
       ++lost_tuples_;
       if (lost_counter_ != nullptr) lost_counter_->inc();
-      merger_->note_lost(t.seq);
+      if (!alo()) merger_->note_lost(t.seq);
     };
     channels_.back()->set_on_lost(lost);
     workers_.back()->set_on_lost(lost);
@@ -60,6 +63,17 @@ Region::Region(RegionConfig config, std::unique_ptr<SplitPolicy> policy,
                                          config_.send_overhead,
                                          config_.source_interval);
   splitter_->wire(std::move(channel_ptrs), &counters_);
+
+  if (alo()) {
+    splitter_->set_delivery(config_.delivery.mode,
+                            config_.delivery.replay_buffer_bytes);
+    merger_->set_delivery_mode(config_.delivery.mode);
+    // The reverse hop: cumulative acks ride back to the splitter with
+    // the same link latency as the forward direction.
+    merger_->set_on_ack(
+        [this](std::uint64_t cum) { splitter_->on_ack(cum); },
+        config_.link_latency);
+  }
 
   const control::ProtectionConfig prot = config_.resolved_protection();
   if (prot.shed_high_watermark > 0) {
@@ -75,6 +89,7 @@ Region::Region(RegionConfig config, std::unique_ptr<SplitPolicy> policy,
   control::ControlLoopConfig loop_cfg;
   loop_cfg.protection = prot;
   loop_cfg.closed_loop_source = config_.source_interval == 0;
+  if (alo()) loop_cfg.ack_stall_periods = config_.delivery.ack_stall_periods;
   loop_ = std::make_unique<control::RegionControlLoop>(
       static_cast<control::RegionPort*>(this), policy_.get(), loop_cfg);
 
@@ -86,6 +101,9 @@ Region::Region(RegionConfig config, std::unique_ptr<SplitPolicy> policy,
     sm.failovers = &metrics_.counter("splitter.failovers");
     sm.rerouted = &metrics_.counter("splitter.rerouted");
     sm.shed = &metrics_.counter("splitter.shed");
+    sm.retransmits = &metrics_.counter("splitter.retransmits");
+    sm.replay_bytes = &metrics_.gauge("splitter.replay_buffer_bytes");
+    sm.ack_lag = &metrics_.gauge("splitter.ack_lag");
     splitter_->set_metrics(sm);
 
     MergerMetrics mm;
@@ -93,6 +111,8 @@ Region::Region(RegionConfig config, std::unique_ptr<SplitPolicy> policy,
     mm.gaps = &metrics_.counter("merger.gaps");
     mm.reorder_depth = &metrics_.histogram("merger.reorder_depth");
     mm.gap_wait_ns = &metrics_.histogram("merger.gap_wait_ns");
+    mm.dup_discards = &metrics_.counter("merger.dup_discards");
+    mm.late_discards = &metrics_.counter("merger.late_discards");
     merger_->set_metrics(mm);
 
     for (int j = 0; j < config_.workers; ++j) {
@@ -139,10 +159,19 @@ void Region::apply_fault_now(FaultKind kind, int worker,
     case FaultKind::kWorkerCrash:
       if (workers_[j]->down()) return;
       // Order matters: quarantine the splitter first so the blocked-on-j
-      // release it may schedule routes around the dead connection.
+      // release it may schedule routes around the dead connection; then
+      // kill the data plane (reporting losses); then queue the replay —
+      // the unacked suffix — so the zero-delay resume event the
+      // quarantine scheduled finds it pending and drains it first.
       splitter_->set_channel_up(worker, false);
       workers_[j]->crash();
       channels_[j]->fail();
+      if (alo()) {
+        const Splitter::ReplaySummary replay =
+            splitter_->replay_channel(worker);
+        loop_->note_replay(sim_->now(), worker, replay.tuples,
+                           replay.bytes);
+      }
       loop_->mark_channel_down(worker);
       break;
     case FaultKind::kWorkerRecover:
@@ -207,6 +236,16 @@ void Region::apply_throttle(double factor) {
 
 void Region::apply_shed_watermarks(std::uint64_t high, std::uint64_t low) {
   splitter_->set_shed_watermarks(high, low);
+}
+
+control::DeliverySample Region::sample_delivery_state() {
+  control::DeliverySample sample;
+  sample.enabled = alo();
+  if (sample.enabled) {
+    sample.cum_ack = splitter_->acked();
+    sample.unacked = splitter_->unacked();
+  }
+  return sample;
 }
 
 void Region::run_for(DurationNs duration) {

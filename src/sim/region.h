@@ -14,6 +14,7 @@
 #include "control/region_control.h"
 #include "control/region_port.h"
 #include "core/blocking_counter.h"
+#include "delivery/delivery.h"
 #include "core/policies.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
@@ -72,6 +73,14 @@ struct RegionConfig {
   /// Blocking-counter sampling / policy-update period (the paper samples
   /// every second of its time scale; the harness scales this down).
   DurationNs sample_period = millis(10);
+
+  // --- Delivery semantics (DESIGN.md §10) ------------------------------
+
+  /// GapSkip (default; crash losses become merger gaps, no new state or
+  /// events — byte-identical to the pre-delivery behavior) or
+  /// AtLeastOnce (splitter replay buffers + merger cumulative acks +
+  /// crash replay onto survivors + merger dedup).
+  delivery::DeliveryConfig delivery;
 
   // --- Overload protection (DESIGN.md §7, §9) --------------------------
 
@@ -259,6 +268,10 @@ class Region : private control::RegionPort {
   std::vector<std::uint64_t> sample_delivered() override;
   void apply_throttle(double factor) override;
   void apply_shed_watermarks(std::uint64_t high, std::uint64_t low) override;
+  control::DeliverySample sample_delivery_state() override;
+  bool alo() const {
+    return config_.delivery.mode == delivery::DeliveryMode::kAtLeastOnce;
+  }
 
   RegionConfig config_;
   std::unique_ptr<SplitPolicy> policy_;

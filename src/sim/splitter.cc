@@ -1,5 +1,6 @@
 #include "sim/splitter.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace slb::sim {
@@ -52,6 +53,88 @@ void Splitter::set_input(Channel* input) {
   });
 }
 
+void Splitter::set_delivery(delivery::DeliveryMode mode,
+                            std::size_t replay_buffer_bytes,
+                            std::size_t tuple_bytes) {
+  assert(!channels_.empty());  // call after wire()
+  assert(tuple_bytes > 0);
+  mode_ = mode;
+  tuple_bytes_ = tuple_bytes;
+  replay_.clear();
+  if (alo()) {
+    for (std::size_t j = 0; j < channels_.size(); ++j) {
+      replay_.emplace_back(replay_buffer_bytes);
+    }
+  }
+}
+
+void Splitter::on_ack(std::uint64_t cum) {
+  if (!alo() || cum <= acked_) return;
+  acked_ = cum;
+  for (auto& rb : replay_) rb.ack(cum);
+  // Replays whose sequence released while they waited are already at the
+  // sink; re-sending them would only make dedup work for the merger.
+  while (!replay_pending_.empty() && replay_pending_.front().seq < cum) {
+    replay_pending_.pop_front();
+  }
+  update_delivery_gauges();
+  // A trimmed buffer may end a replay-full blocking episode — the same
+  // wake-up a freed send buffer gives, charged the same way.
+  if (blocked_on_ >= 0) {
+    const int j = blocked_on_;
+    if (!channels_[static_cast<std::size_t>(j)]->send_full() &&
+        !replay_full(j)) {
+      unblock_and_send();
+    }
+  }
+}
+
+Splitter::ReplaySummary Splitter::replay_channel(int j) {
+  ReplaySummary summary;
+  if (!alo()) return summary;
+  auto entries = replay_[static_cast<std::size_t>(j)].take_all();
+  for (auto& e : entries) {
+    if (e.seq < acked_) continue;  // released before the crash hit
+    ++summary.tuples;
+    summary.bytes += e.bytes;
+    replay_pending_.push_back(e.payload);
+  }
+  // Oldest sequence first: the merger is gating on the lowest missing
+  // sequence, and a prior replay may already sit queued behind newer
+  // entries from this channel.
+  std::sort(replay_pending_.begin(), replay_pending_.end(),
+            [](const Tuple& a, const Tuple& b) { return a.seq < b.seq; });
+  update_delivery_gauges();
+  if (idle_for_input_ && !replay_pending_.empty()) {
+    // Mid-pipeline splitter parked waiting for upstream data: the replay
+    // queue is sendable without input, so resume.
+    idle_for_input_ = false;
+    sim_->schedule_after(0, [this] { next_send(); });
+  }
+  return summary;
+}
+
+std::uint64_t Splitter::unacked() const {
+  std::uint64_t total = replay_pending_.size();
+  for (const auto& rb : replay_) total += rb.size();
+  return total;
+}
+
+std::size_t Splitter::replay_bytes() const {
+  std::size_t total = 0;
+  for (const auto& rb : replay_) total += rb.bytes();
+  return total;
+}
+
+void Splitter::update_delivery_gauges() {
+  if (metrics_.replay_bytes != nullptr) {
+    metrics_.replay_bytes->set(static_cast<std::int64_t>(replay_bytes()));
+  }
+  if (metrics_.ack_lag != nullptr) {
+    metrics_.ack_lag->set(static_cast<std::int64_t>(next_seq_ - acked_));
+  }
+}
+
 void Splitter::set_throttle(double factor) {
   assert(factor > 0.0 && factor <= 1.0);
   throttle_ = factor;
@@ -83,11 +166,16 @@ void Splitter::shed_backlog() {
 
 void Splitter::next_send() {
   assert(blocked_on_ < 0);
-  if (input_ != nullptr && input_->recv_empty()) {
-    idle_for_input_ = true;  // wait for the upstream stage
-    return;
+  // Crash replays outrank fresh tuples (the merger is gating on them)
+  // and need no source input.
+  const bool replaying = !replay_pending_.empty();
+  if (!replaying) {
+    if (input_ != nullptr && input_->recv_empty()) {
+      idle_for_input_ = true;  // wait for the upstream stage
+      return;
+    }
+    shed_backlog();
   }
-  shed_backlog();
   int j = policy_->pick_connection();
   assert(j >= 0 && j < static_cast<int>(channels_.size()));
   const int n = static_cast<int>(channels_.size());
@@ -114,7 +202,11 @@ void Splitter::next_send() {
     j = live;
   }
 
-  if (!channels_[static_cast<std::size_t>(j)]->send_full()) {
+  // A full replay buffer back-pressures exactly like a full send buffer:
+  // the source blocks, the wait lands in j's blocking counter, and the
+  // blocking-rate signal stays truthful (DESIGN.md §10).
+  if (!channels_[static_cast<std::size_t>(j)]->send_full() &&
+      !replay_full(j)) {
     do_send(j);
     return;
   }
@@ -124,7 +216,8 @@ void Splitter::next_send() {
     for (int step = 1; step < n; ++step) {
       const int k = (j + step) % n;
       if (!chan_up_[static_cast<std::size_t>(k)]) continue;
-      if (!channels_[static_cast<std::size_t>(k)]->send_full()) {
+      if (!channels_[static_cast<std::size_t>(k)]->send_full() &&
+          !replay_full(k)) {
         ++rerouted_;
         if (metrics_.rerouted != nullptr) metrics_.rerouted->inc();
         do_send(k);
@@ -143,20 +236,40 @@ void Splitter::next_send() {
 
 void Splitter::do_send(int j) {
   Tuple t;
-  if (input_ != nullptr) {
+  bool retransmit = false;
+  if (!replay_pending_.empty()) {
+    // Crash replay: the sequence (and arrival stamp) survive — the sink
+    // must not be able to tell a retransmission from the original.
+    t = replay_pending_.front();
+    replay_pending_.pop_front();
+    retransmit = true;
+  } else if (input_ != nullptr) {
     // Forwarded tuple: restamp the sequence, keep the original arrival
     // time so end-to-end latency survives region boundaries.
     t = input_->pop_recv();
+    t.seq = next_seq_++;
   } else {
     // Source tuple: arrival = nominal release time for an open-loop
     // source (arrears count as waiting), or "now" for a closed loop.
     t.created = source_interval_ > 0 ? next_release_ : sim_->now();
+    t.seq = next_seq_++;
   }
-  t.seq = next_seq_++;
   channels_[static_cast<std::size_t>(j)]->push_send(t);
-  ++sent_[static_cast<std::size_t>(j)];
-  ++total_sent_;
-  if (metrics_.sent != nullptr) metrics_.sent->inc();
+  if (alo()) {
+    replay_[static_cast<std::size_t>(j)].push(t.seq, tuple_bytes_, t);
+    update_delivery_gauges();
+  }
+  if (retransmit) {
+    // Not counted as sent: sent/total_sent track fresh sequences, so the
+    // throughput signal and conservation identities stay in sequence
+    // space (emitted + gaps == sent + shed).
+    ++retransmits_;
+    if (metrics_.retransmits != nullptr) metrics_.retransmits->inc();
+  } else {
+    ++sent_[static_cast<std::size_t>(j)];
+    ++total_sent_;
+    if (metrics_.sent != nullptr) metrics_.sent->inc();
+  }
   DurationNs gap = send_overhead_;
   if (throttle_ < 1.0) {
     // Admission control: stretch the per-send overhead so the closed-loop
@@ -166,10 +279,11 @@ void Splitter::do_send(int j) {
   }
   TimeNs next = sim_->now() + gap;
   if (source_interval_ > 0) {
-    // Open loop: the next tuple is only available at its release time.
-    // Arrears accumulated while we were blocked drain at full speed.
-    next_release_ += source_interval_;
-    next = std::max(next, next_release_);
+    // Open loop: the next *fresh* tuple is only available at its release
+    // time (retransmits consumed no source release). Arrears accumulated
+    // while we were blocked drain at full speed.
+    if (!retransmit) next_release_ += source_interval_;
+    if (replay_pending_.empty()) next = std::max(next, next_release_);
   }
   sim_->schedule_at(next, [this] { next_send(); });
 }
@@ -202,6 +316,12 @@ void Splitter::set_channel_up(int j, bool up) {
 void Splitter::on_send_space(int j) {
   if (blocked_on_ != j) return;
   if (channels_[static_cast<std::size_t>(j)]->send_full()) return;
+  if (replay_full(j)) return;  // still waiting on an ack to trim
+  unblock_and_send();
+}
+
+void Splitter::unblock_and_send() {
+  const int j = blocked_on_;
   counters_->at(static_cast<std::size_t>(j))
       .add(sim_->now() - block_start_);
   if (metrics_.block_ns != nullptr) {

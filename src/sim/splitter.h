@@ -18,14 +18,18 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
 #include "core/blocking_counter.h"
 #include "core/policies.h"
+#include "delivery/delivery.h"
+#include "delivery/replay_buffer.h"
 #include "obs/metrics.h"
 #include "sim/channel.h"
 #include "sim/event.h"
+#include "sim/tuple.h"
 #include "util/time.h"
 
 namespace slb::sim {
@@ -40,6 +44,9 @@ struct SplitterMetrics {
   obs::Counter* failovers = nullptr;  // diverted off quarantined channels
   obs::Counter* rerouted = nullptr;   // Section 4.4 block-time diversions
   obs::Counter* shed = nullptr;       // source tuples dropped by watermarks
+  obs::Counter* retransmits = nullptr;  // replayed sends (at-least-once)
+  obs::Gauge* replay_bytes = nullptr;   // bytes held across replay buffers
+  obs::Gauge* ack_lag = nullptr;        // next_seq - cumulative ack
 };
 
 class Splitter {
@@ -124,11 +131,63 @@ class Splitter {
   /// parallel, thread-safe view for exporters.
   void set_metrics(const SplitterMetrics& metrics) { metrics_ = metrics; }
 
+  // --- At-least-once delivery (DESIGN.md §10) --------------------------
+
+  /// Arms at-least-once delivery: every sent tuple is held in its
+  /// channel's byte-capped replay buffer until acked. Call after wire(),
+  /// before start(). `tuple_bytes` is the accounting size of one tuple
+  /// (the sim has no wire encoding; sizeof(Tuple) by default).
+  void set_delivery(delivery::DeliveryMode mode,
+                    std::size_t replay_buffer_bytes,
+                    std::size_t tuple_bytes = sizeof(Tuple));
+
+  /// Cumulative ack from the merger: every sequence below `cum` has been
+  /// released. Trims the replay buffers, drops pending replays that
+  /// released meanwhile, and — if the splitter was blocked on a channel
+  /// whose replay buffer just drained — resumes it.
+  void on_ack(std::uint64_t cum);
+
+  struct ReplaySummary {
+    std::uint64_t tuples = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Crash recovery: moves channel j's unacked suffix into the pending
+  /// replay queue, drained (oldest sequence first) before fresh source
+  /// tuples through the normal pick path — so retransmits respect the
+  /// current RAP weights via the same WRR as everything else.
+  ReplaySummary replay_channel(int j);
+
+  /// Tuples re-sent after crash replay. Disjoint from total_sent():
+  /// sent counters track fresh sequences only, so the throughput signal
+  /// and per-channel signatures are unchanged by retransmission.
+  std::uint64_t retransmits() const { return retransmits_; }
+  /// Highest cumulative ack seen from the merger.
+  std::uint64_t acked() const { return acked_; }
+  /// Tuples held for replay: buffered unacked + pending re-send.
+  std::uint64_t unacked() const;
+  /// Bytes held across all replay buffers.
+  std::size_t replay_bytes() const;
+  /// Pending (crash-replayed, not yet re-sent) tuples.
+  std::size_t replay_pending() const { return replay_pending_.size(); }
+
  private:
   void next_send();
   void do_send(int j);
   void on_send_space(int j);
   void shed_backlog();
+  bool alo() const {
+    return mode_ == delivery::DeliveryMode::kAtLeastOnce;
+  }
+  /// True when channel j's replay buffer cannot admit the next tuple.
+  bool replay_full(int j) const {
+    return alo() &&
+           replay_[static_cast<std::size_t>(j)].would_block(tuple_bytes_);
+  }
+  /// Ends the current blocking episode (charging channel
+  /// `blocked_on_`'s counter) and sends on it.
+  void unblock_and_send();
+  void update_delivery_gauges();
 
   Simulator* sim_;
   SplitPolicy* policy_;
@@ -145,6 +204,17 @@ class Splitter {
   BlockingCounterSet* counters_ = nullptr;
 
   SplitterMetrics metrics_;
+
+  /// At-least-once state (empty/zero in GapSkip mode).
+  delivery::DeliveryMode mode_ = delivery::DeliveryMode::kGapSkip;
+  std::size_t tuple_bytes_ = sizeof(Tuple);
+  std::vector<delivery::ReplayBuffer<Tuple>> replay_;
+  /// Crash-replayed tuples awaiting re-send, oldest sequence first;
+  /// drained before fresh source tuples.
+  std::deque<Tuple> replay_pending_;
+  std::uint64_t acked_ = 0;
+  std::uint64_t retransmits_ = 0;
+
   std::uint64_t next_seq_ = 0;
   std::uint64_t total_sent_ = 0;
   std::uint64_t rerouted_ = 0;

@@ -32,10 +32,32 @@ std::uint64_t get_u64(const std::uint8_t* p) {
   return v;
 }
 
+std::uint32_t fnv1a32(const std::uint8_t* p, std::size_t n,
+                      std::uint32_t h) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
 }  // namespace
+
+std::uint32_t frame_checksum(std::uint64_t seq, const std::uint8_t* payload,
+                             std::size_t len) {
+  std::uint8_t seq_le[8];
+  for (int i = 0; i < 8; ++i) {
+    seq_le[i] = static_cast<std::uint8_t>(seq >> (8 * i));
+  }
+  const std::uint32_t h = fnv1a32(seq_le, sizeof seq_le, 2166136261u);
+  return fnv1a32(payload, len, h);
+}
 
 void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out) {
   put_u32(static_cast<std::uint32_t>(frame.payload.size()), out);
+  put_u32(frame_checksum(frame.seq, frame.payload.data(),
+                         frame.payload.size()),
+          out);
   put_u64(frame.seq, out);
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
 }
@@ -80,28 +102,56 @@ std::vector<std::uint8_t> gap_bytes(std::uint64_t first,
   return out;
 }
 
+std::uint64_t Frame::ack_value() const {
+  return payload.size() >= 8 ? get_u64(payload.data()) : 0;
+}
+
+std::vector<std::uint8_t> ack_bytes(std::uint64_t cum) {
+  Frame ack;
+  ack.seq = kAckSeq;
+  put_u64(cum, ack.payload);
+  std::vector<std::uint8_t> out;
+  encode_frame(ack, out);
+  return out;
+}
+
 void FrameDecoder::feed(const std::uint8_t* data, std::size_t len) {
   if (corrupt_) return;
   buffer_.insert(buffer_.end(), data, data + len);
 }
 
+void FrameDecoder::poison() {
+  // The stream is garbage from here on. Drop the buffered bytes so a
+  // wedged connection cannot pin memory either.
+  corrupt_ = true;
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  consumed_ = 0;
+}
+
 bool FrameDecoder::next(Frame& frame) {
   if (corrupt_) return false;
   const std::size_t available = buffer_.size() - consumed_;
-  if (available < kFrameHeaderBytes) return false;
+  if (available < 4) return false;
   const std::uint8_t* base = buffer_.data() + consumed_;
   const std::uint32_t payload_len = get_u32(base);
   if (payload_len > kMaxPayloadBytes) {
-    // Impossible length: the stream is garbage from here on. Drop the
-    // buffered bytes so a wedged connection cannot pin memory either.
-    corrupt_ = true;
-    buffer_.clear();
-    buffer_.shrink_to_fit();
-    consumed_ = 0;
+    // Impossible length: poison as soon as the length field lands — no
+    // need to wait for a header and checksum that cannot arrive.
+    poison();
     return false;
   }
   if (available < kFrameHeaderBytes + payload_len) return false;
-  frame.seq = get_u64(base + 4);
+  const std::uint32_t wire_sum = get_u32(base + 4);
+  const std::uint64_t seq = get_u64(base + 8);
+  if (wire_sum !=
+      frame_checksum(seq, base + kFrameHeaderBytes, payload_len)) {
+    // Bit rot (or a hostile peer) inside the frame body: indistinguishable
+    // from a corrupted length field one frame later, so fail the same way.
+    poison();
+    return false;
+  }
+  frame.seq = seq;
   frame.payload.assign(base + kFrameHeaderBytes,
                        base + kFrameHeaderBytes + payload_len);
   consumed_ += kFrameHeaderBytes + payload_len;

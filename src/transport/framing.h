@@ -1,8 +1,12 @@
 // Tuple wire format for the threaded runtime.
 //
-// A frame is [u32 payload_len][u64 seq][payload_len bytes]. All integers
-// little-endian (we only run loopback, but the format is explicit anyway).
-// A frame with seq == kFinSeq and empty payload signals end-of-stream.
+// A frame is [u32 payload_len][u32 checksum][u64 seq][payload_len bytes].
+// All integers little-endian (we only run loopback, but the format is
+// explicit anyway). The checksum is FNV-1a-32 over the seq bytes (as
+// encoded, little-endian) followed by the payload; a mismatch marks the
+// stream corrupt exactly like an impossible length field — frame
+// integrity is end-to-end, not trusted to the transport. A frame with
+// seq == kFinSeq and empty payload signals end-of-stream.
 #pragma once
 
 #include <cstdint>
@@ -22,13 +26,24 @@ inline constexpr std::uint64_t kHelloSeq = ~std::uint64_t{0} - 1;
 /// zero work; the merger accounts them as gaps so ordered emission is not
 /// gated on them.
 inline constexpr std::uint64_t kGapSeq = ~std::uint64_t{0} - 2;
-inline constexpr std::size_t kFrameHeaderBytes = 4 + 8;
+/// Reserved sequence carrying a cumulative ack from the merger back to
+/// the splitter (at-least-once delivery, DESIGN.md §10): payload =
+/// [u64 cum], meaning every sequence below `cum` has been released
+/// downstream. Flows on its own merger->splitter connection, against the
+/// data direction.
+inline constexpr std::uint64_t kAckSeq = ~std::uint64_t{0} - 3;
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 8;
 
 /// Upper bound on a frame's payload accepted by the decoder. Far above
 /// anything this runtime sends (tuple payloads are a few KiB at most);
 /// its purpose is bounding the memory a hostile or corrupted length
 /// field can make the decoder buffer.
 inline constexpr std::size_t kMaxPayloadBytes = std::size_t{1} << 20;
+
+/// The per-frame FNV-1a-32 checksum over the little-endian seq bytes
+/// followed by `len` payload bytes. Exposed so tests can forge frames.
+std::uint32_t frame_checksum(std::uint64_t seq, const std::uint8_t* payload,
+                             std::size_t len);
 
 struct Frame {
   std::uint64_t seq = 0;
@@ -37,15 +52,18 @@ struct Frame {
   bool is_fin() const { return seq == kFinSeq && payload.empty(); }
   bool is_hello() const { return seq == kHelloSeq; }
   bool is_gap() const { return seq == kGapSeq && payload.size() >= 16; }
+  bool is_ack() const { return seq == kAckSeq && payload.size() >= 8; }
   /// Worker id carried by a hello frame (call only when is_hello()).
   std::uint32_t hello_worker() const;
   /// First shed sequence carried by a gap frame (call only when is_gap()).
   std::uint64_t gap_first() const;
   /// Number of consecutive shed sequences (call only when is_gap()).
   std::uint64_t gap_count() const;
+  /// Cumulative ack carried by an ack frame (call only when is_ack()).
+  std::uint64_t ack_value() const;
 };
 
-/// Serializes a frame into `out` (appended).
+/// Serializes a frame into `out` (appended), checksum included.
 void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out);
 
 /// Builds the FIN frame bytes.
@@ -58,13 +76,18 @@ std::vector<std::uint8_t> hello_bytes(std::uint32_t worker_id);
 std::vector<std::uint8_t> gap_bytes(std::uint64_t first,
                                     std::uint64_t count);
 
+/// Builds an ack frame carrying the cumulative ack `cum`.
+std::vector<std::uint8_t> ack_bytes(std::uint64_t cum);
+
 /// Incremental decoder: feed arbitrary byte chunks, take complete frames.
 ///
-/// Robustness: a length field above kMaxPayloadBytes marks the stream
-/// corrupt — the decoder refuses further input and yields no more frames
+/// Robustness: a length field above kMaxPayloadBytes — or a complete
+/// frame whose checksum does not match — marks the stream corrupt: the
+/// decoder refuses further input and yields no more frames
 /// (resynchronizing inside a length-prefixed stream is guesswork; the
-/// connection must be torn down). This bounds the memory a hostile
-/// length field can pin to the bytes already received.
+/// connection must be torn down, like any other channel fault). This
+/// bounds the memory a hostile length field can pin to the bytes already
+/// received.
 class FrameDecoder {
  public:
   /// Appends raw bytes from the wire. No-op once the stream is corrupt.
@@ -74,14 +97,15 @@ class FrameDecoder {
   /// bytes are needed or the stream is corrupt.
   bool next(Frame& frame);
 
-  /// True once an impossible length field has been seen; the connection
-  /// should be treated as lost.
+  /// True once an impossible length field or a checksum mismatch has
+  /// been seen; the connection should be treated as lost.
   bool corrupt() const { return corrupt_; }
 
   std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
 
  private:
   void compact();
+  void poison();
 
   std::vector<std::uint8_t> buffer_;
   std::size_t consumed_ = 0;

@@ -34,6 +34,7 @@ bool InstrumentedSender::send_all(const std::uint8_t* data, std::size_t len) {
         ++block_events_;
       }
       counter_->add(wait_writable());
+      if (broken_) return false;  // the wait saw the peer hang up
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -68,11 +69,24 @@ void InstrumentedSender::rebind(int fd) {
 DurationNs InstrumentedSender::wait_writable() {
   pollfd pfd{};
   pfd.fd = fd_;
-  pfd.events = POLLOUT;
+  // POLLIN alongside POLLOUT: the peer never writes on this stream, so
+  // readability means FIN or RST — the only wake-up a dead worker whose
+  // receive window already closed can ever deliver (see header).
+  pfd.events = POLLOUT | POLLIN;
   const TimeNs start = monotonic_now();
   const int rc = ::poll(&pfd, 1, /*timeout_ms=*/50);
   if (rc < 0 && errno != EINTR) {
     throw std::runtime_error(std::string("poll: ") + std::strerror(errno));
+  }
+  if (rc > 0 && (pfd.revents & (POLLIN | POLLERR | POLLHUP))) {
+    // Confirm without consuming: EOF or a socket error is peer death; a
+    // spurious wake with the peer alive leaves EAGAIN and changes nothing.
+    std::uint8_t probe;
+    const ssize_t got = ::recv(fd_, &probe, 1, MSG_DONTWAIT | MSG_PEEK);
+    if (got == 0 || (got < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR)) {
+      broken_ = true;
+    }
   }
   return monotonic_now() - start;
 }

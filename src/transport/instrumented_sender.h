@@ -51,6 +51,12 @@ class InstrumentedSender {
 
  private:
   /// Waits until the socket is writable; returns the time spent waiting.
+  /// The splitter->worker stream is one-way — the peer never writes — so
+  /// the wait also watches for readability: a readable socket here can
+  /// only mean FIN or RST, i.e. the worker died. That observation marks
+  /// the sender broken, which matters when the peer's receive window is
+  /// already closed: no data can reach the dead socket to provoke an
+  /// RST, so a pure POLLOUT wait would block forever.
   DurationNs wait_writable();
 
   int fd_;

@@ -1,0 +1,354 @@
+// Delivery-semantics tests (DESIGN.md §10): the replay buffer, the
+// merger's dedup/late-discard accounting, at-least-once crash recovery in
+// the simulator and the threaded runtime, replay back pressure, and the
+// control loop's ack-stall watchdog rung.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/region_control.h"
+#include "control/region_port.h"
+#include "core/policies.h"
+#include "delivery/delivery.h"
+#include "delivery/replay_buffer.h"
+#include "obs/journal.h"
+#include "runtime/local_region.h"
+#include "sim/merger.h"
+#include "sim/region.h"
+#include "util/time.h"
+
+namespace slb {
+namespace {
+
+using delivery::DeliveryMode;
+using delivery::ReplayBuffer;
+
+// --- ReplayBuffer ----------------------------------------------------
+
+TEST(ReplayBufferTest, CumulativeAckTrimsEverythingBelow) {
+  ReplayBuffer<int> buf;
+  for (std::uint64_t s = 0; s < 10; ++s) buf.push(s, 8, static_cast<int>(s));
+  EXPECT_EQ(buf.size(), 10u);
+  EXPECT_EQ(buf.bytes(), 80u);
+  EXPECT_EQ(buf.ack(7), 7u);  // seqs 0..6 released
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.bytes(), 24u);
+  // Acks are cumulative: a stale (lower) ack removes nothing more.
+  EXPECT_EQ(buf.ack(3), 0u);
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(ReplayBufferTest, ByteCapBlocksButEmptyBufferAlwaysAdmits) {
+  ReplayBuffer<int> buf(100);
+  EXPECT_FALSE(buf.would_block(1000));  // empty admits even an oversize
+  buf.push(0, 1000, 0);
+  EXPECT_TRUE(buf.would_block(1));  // over cap: back-pressure the source
+  buf.ack(1);
+  EXPECT_FALSE(buf.would_block(99));
+  buf.push(1, 60, 1);
+  EXPECT_FALSE(buf.would_block(40));  // exactly at cap is admitted
+  EXPECT_TRUE(buf.would_block(41));
+}
+
+TEST(ReplayBufferTest, TakeAllDrainsForCrashReplay) {
+  ReplayBuffer<int> buf(100);
+  buf.push(5, 10, 50);
+  buf.push(6, 10, 60);
+  auto taken = buf.take_all();
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0].seq, 5u);
+  EXPECT_EQ(taken[1].payload, 60);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.bytes(), 0u);
+  EXPECT_FALSE(buf.would_block(1000));  // reusable after the drain
+}
+
+TEST(ReplayBufferTest, AckRemovesEntriesBehindNewerSequences) {
+  // After a crash replay lands on a surviving channel, its buffer holds
+  // e.g. [10, 11, 3, 4]: fresh sends followed by re-sent older sequences.
+  // A cumulative ack must find and drop the old ones mid-buffer.
+  ReplayBuffer<int> buf;
+  buf.push(10, 8, 0);
+  buf.push(11, 8, 0);
+  buf.push(3, 8, 0);
+  buf.push(4, 8, 0);
+  EXPECT_EQ(buf.ack(5), 2u);  // 3 and 4 released
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.bytes(), 16u);
+  EXPECT_EQ(buf.ack(12), 2u);
+  EXPECT_TRUE(buf.empty());
+}
+
+// --- sim merger dedup / late-discard accounting -----------------------
+
+TEST(MergerDelivery, ReplayEchoBelowCursorIsDupDiscard) {
+  sim::Simulator sim;
+  sim::Merger m(&sim, 2, sim::Merger::kUnbounded);
+  m.set_delivery_mode(DeliveryMode::kAtLeastOnce);
+  EXPECT_TRUE(m.try_push(0, sim::Tuple{0}));
+  EXPECT_TRUE(m.try_push(0, sim::Tuple{1}));
+  EXPECT_EQ(m.emitted(), 2u);
+  // The original raced the crash and won; the replayed copy arrives via
+  // the survivor after release. Strict order demands a silent discard.
+  EXPECT_TRUE(m.try_push(1, sim::Tuple{0}));
+  EXPECT_EQ(m.emitted(), 2u);
+  EXPECT_EQ(m.dup_discards(), 1u);
+  EXPECT_EQ(m.late_discards(), 0u);
+  EXPECT_EQ(m.expected_seq(), 2u);
+}
+
+TEST(MergerDelivery, ArrivalAfterGapDeclarationIsLateDiscard) {
+  // GapSkip bugfix: a tuple outliving its declared gap used to silently
+  // corrupt the order accounting; now it is dropped and counted.
+  sim::Simulator sim;
+  sim::Merger m(&sim, 2, sim::Merger::kUnbounded);
+  EXPECT_TRUE(m.try_push(0, sim::Tuple{1}));  // gated on seq 0
+  EXPECT_EQ(m.emitted(), 0u);
+  m.note_lost(0);  // seq 0 declared dead with its worker
+  EXPECT_EQ(m.emitted(), 1u);
+  EXPECT_EQ(m.gaps(), 1u);
+  // ...but the "dead" tuple limps in after all.
+  EXPECT_TRUE(m.try_push(1, sim::Tuple{0}));
+  EXPECT_EQ(m.emitted(), 1u);
+  EXPECT_EQ(m.late_discards(), 1u);
+  EXPECT_EQ(m.dup_discards(), 0u);
+  EXPECT_EQ(m.expected_seq(), 2u);
+}
+
+TEST(MergerDelivery, ReplayBehindNewerQueuedSequencesStillReleases) {
+  // A replayed old sequence landing on a connection whose FIFO already
+  // holds newer sequences would sit behind them forever under head-only
+  // scanning; the side pool must rescue it.
+  sim::Simulator sim;
+  sim::Merger m(&sim, 2, sim::Merger::kUnbounded);
+  m.set_delivery_mode(DeliveryMode::kAtLeastOnce);
+  EXPECT_TRUE(m.try_push(0, sim::Tuple{1}));
+  EXPECT_TRUE(m.try_push(0, sim::Tuple{2}));
+  EXPECT_TRUE(m.try_push(1, sim::Tuple{3}));
+  EXPECT_EQ(m.emitted(), 0u);  // everything gated on seq 0
+  // The replay of seq 0 arrives on connection 1, behind queued seq 3.
+  EXPECT_TRUE(m.try_push(1, sim::Tuple{0}));
+  EXPECT_EQ(m.emitted(), 4u);
+  EXPECT_EQ(m.pooled(), 0u);
+  EXPECT_EQ(m.dup_discards(), 0u);
+  EXPECT_EQ(m.expected_seq(), 4u);
+}
+
+// --- sim region: at-least-once crash recovery -------------------------
+
+sim::RegionConfig alo_region(int workers) {
+  sim::RegionConfig cfg;
+  cfg.workers = workers;
+  cfg.base_cost = micros(5);
+  cfg.send_overhead = micros(1);
+  cfg.sample_period = millis(5);
+  cfg.delivery.mode = DeliveryMode::kAtLeastOnce;
+  return cfg;
+}
+
+TEST(SimDelivery, CrashReplayDeliversEverySequenceWithoutGaps) {
+  sim::Region region(alo_region(3),
+                     std::make_unique<LoadBalancingPolicy>(3));
+  // Early enough that the open-throttle source is still far from the
+  // emission target, with the crashed channel's queues full.
+  region.inject_fault({sim::FaultKind::kWorkerCrash, 1, millis(10), 0});
+  const sim::RunResult r =
+      region.run_until_emitted(20000, /*deadline=*/seconds(5));
+
+  ASSERT_TRUE(r.reached_target);
+  // The crash lost in-flight copies, but every sequence was replayed
+  // onto the survivors: zero gaps in the output, strict prefix order.
+  EXPECT_GT(region.lost_tuples(), 0u);
+  EXPECT_EQ(region.merger().gaps(), 0u);
+  EXPECT_GT(region.splitter().retransmits(), 0u);
+  EXPECT_EQ(region.merger().expected_seq(), region.merger().emitted());
+}
+
+TEST(SimDelivery, ReplayRacesRecoveryWithoutGapsOrStalls) {
+  sim::Region region(alo_region(3),
+                     std::make_unique<LoadBalancingPolicy>(3));
+  region.inject_fault({sim::FaultKind::kWorkerCrash, 0, millis(10), 0});
+  region.inject_fault({sim::FaultKind::kWorkerRecover, 0, millis(20), 0});
+  const sim::RunResult r =
+      region.run_until_emitted(20000, /*deadline=*/seconds(5));
+
+  ASSERT_TRUE(r.reached_target);
+  EXPECT_EQ(region.merger().gaps(), 0u);
+  EXPECT_EQ(region.merger().expected_seq(), region.merger().emitted());
+  EXPECT_FALSE(region.worker(0).down());
+}
+
+TEST(SimDelivery, TinyReplayCapBackpressuresWithoutDeadlock) {
+  sim::RegionConfig cfg = alo_region(2);
+  // Room for ~4 tuples per channel: the replay window, not the socket
+  // buffer, becomes the binding constraint almost immediately.
+  cfg.delivery.replay_buffer_bytes = 4 * sizeof(sim::Tuple);
+  sim::Region region(cfg, std::make_unique<LoadBalancingPolicy>(2));
+  region.run_for(millis(100));
+
+  // Progress continues (acks drain the windows)...
+  EXPECT_GT(region.emitted(), 100u);
+  // ...the cap was respected...
+  EXPECT_LE(region.splitter().replay_bytes(),
+            2 * cfg.delivery.replay_buffer_bytes);
+  // ...and the wait was charged as blocking, keeping the signal truthful.
+  std::uint64_t blocks = 0;
+  for (int j = 0; j < 2; ++j) blocks += region.splitter().blocks(j);
+  EXPECT_GT(blocks, 0u);
+}
+
+TEST(SimDelivery, GapSkipRemainsDefaultAndCountsGaps) {
+  // Control experiment for the mode switch itself: same fault schedule,
+  // default GapSkip — losses surface as gaps and nothing is replayed.
+  sim::RegionConfig cfg = alo_region(3);
+  cfg.delivery = {};
+  sim::Region region(cfg, std::make_unique<LoadBalancingPolicy>(3));
+  region.inject_fault({sim::FaultKind::kWorkerCrash, 1, millis(50), 0});
+  region.run_for(millis(200));
+
+  EXPECT_GT(region.lost_tuples(), 0u);
+  EXPECT_EQ(region.merger().gaps(), region.lost_tuples());
+  EXPECT_EQ(region.splitter().retransmits(), 0u);
+  EXPECT_EQ(region.merger().dup_discards(), 0u);
+}
+
+// --- control loop: ack-stall watchdog rung ----------------------------
+
+class StalledAckPort : public control::RegionPort {
+ public:
+  int channels() const override { return 2; }
+  std::vector<DurationNs> sample_blocked() override { return {0, 0}; }
+  std::vector<std::uint64_t> sample_delivered() override { return {}; }
+  void apply_throttle(double) override {}
+  void apply_shed_watermarks(std::uint64_t, std::uint64_t) override {}
+  control::DeliverySample sample_delivery_state() override {
+    control::DeliverySample d;
+    d.enabled = true;
+    d.cum_ack = cum_ack;
+    d.unacked = unacked;
+    return d;
+  }
+  std::uint64_t cum_ack = 7;
+  std::uint64_t unacked = 42;
+};
+
+TEST(AckStallRung, FrozenAckEscalatesAndJournals) {
+  StalledAckPort port;
+  LoadBalancingPolicy policy(2);
+  control::ControlLoopConfig cfg;
+  cfg.ack_stall_periods = 3;
+  control::RegionControlLoop loop(&port, &policy, cfg);
+  obs::DecisionJournal journal;
+  loop.set_journal(&journal);
+
+  // Tick 1 records the baseline ack; ticks 2..4 are the first stalled
+  // streak, ticks 5..7 the second.
+  for (int i = 1; i <= 7; ++i) loop.tick(i * millis(10), millis(10));
+
+  EXPECT_EQ(loop.ack_stalls(), 2u);
+  // Each firing climbs one watchdog rung (stage 1: forced throttle,
+  // stage 2: tightened shedding).
+  EXPECT_EQ(loop.watchdog_stage(), 2);
+  int stall_lines = 0;
+  int escalate_lines = 0;
+  for (const std::string& line : journal.lines()) {
+    if (line.find("\"ack_stall\"") != std::string::npos) ++stall_lines;
+    if (line.find("\"watchdog_escalate\"") != std::string::npos) {
+      ++escalate_lines;
+    }
+  }
+  EXPECT_EQ(stall_lines, 2);
+  EXPECT_EQ(escalate_lines, 2);
+}
+
+TEST(AckStallRung, AckProgressResetsTheStreak) {
+  StalledAckPort port;
+  LoadBalancingPolicy policy(2);
+  control::ControlLoopConfig cfg;
+  cfg.ack_stall_periods = 3;
+  control::RegionControlLoop loop(&port, &policy, cfg);
+
+  for (int i = 1; i <= 3; ++i) loop.tick(i * millis(10), millis(10));
+  port.cum_ack += 10;  // the merger released something after all
+  loop.tick(4 * millis(10), millis(10));
+  for (int i = 5; i <= 6; ++i) loop.tick(i * millis(10), millis(10));
+
+  EXPECT_EQ(loop.ack_stalls(), 0u);
+  EXPECT_EQ(loop.watchdog_stage(), 0);
+}
+
+TEST(AckStallRung, AllChannelsDownIsNotAStall) {
+  // Nothing can deliver, let alone ack: the reconnect machinery owns
+  // this case and the rung must stay quiet.
+  StalledAckPort port;
+  LoadBalancingPolicy policy(2);
+  control::ControlLoopConfig cfg;
+  cfg.ack_stall_periods = 2;
+  control::RegionControlLoop loop(&port, &policy, cfg);
+  loop.mark_channel_down(0);
+  loop.mark_channel_down(1);
+
+  for (int i = 1; i <= 6; ++i) loop.tick(i * millis(10), millis(10));
+  EXPECT_EQ(loop.ack_stalls(), 0u);
+}
+
+// --- threaded runtime: at-least-once over loopback TCP ----------------
+
+rt::LocalRegionConfig rt_alo(int workers) {
+  rt::LocalRegionConfig cfg;
+  cfg.workers = workers;
+  cfg.multiplies = 2000;
+  cfg.sample_period = millis(20);
+  cfg.delivery.mode = DeliveryMode::kAtLeastOnce;
+  return cfg;
+}
+
+TEST(RtDelivery, CleanRunIsExactlyOnce) {
+  rt::LocalRegion region(rt_alo(2),
+                         std::make_unique<LoadBalancingPolicy>(2));
+  const rt::LocalRunStats stats = region.run(millis(200));
+
+  EXPECT_TRUE(stats.order_ok);
+  EXPECT_GT(stats.sent, 0u);
+  EXPECT_EQ(stats.emitted, stats.sent);
+  EXPECT_EQ(stats.gaps, 0u);
+  EXPECT_EQ(stats.dup_discards, 0u);
+  EXPECT_EQ(stats.late_discards, 0u);
+}
+
+TEST(RtDelivery, KillMidRunReplaysOntoSurvivorWithoutGaps) {
+  rt::LocalRegionConfig cfg = rt_alo(2);
+  cfg.failure_events.push_back({millis(60), 0, /*restart=*/false});
+  rt::LocalRegion region(cfg, std::make_unique<LoadBalancingPolicy>(2));
+  const rt::LocalRunStats stats = region.run(millis(300));
+
+  // GapSkip would report every tuple caught in the dead worker's buffers
+  // as a gap; at-least-once replays them onto the survivor instead.
+  EXPECT_GE(stats.channel_failures, 1u);
+  EXPECT_GT(stats.retransmits, 0u);
+  EXPECT_EQ(stats.gaps, 0u);
+  EXPECT_EQ(stats.emitted, stats.sent);
+  EXPECT_TRUE(stats.order_ok);
+  // Replay echoes are possible (original and replay both arriving) but
+  // each re-sent frame is sent once per retransmit.
+  EXPECT_LE(stats.dup_discards, stats.retransmits);
+}
+
+TEST(RtDelivery, ReplayRacesReconnect) {
+  rt::LocalRegionConfig cfg = rt_alo(2);
+  cfg.failure_events.push_back({millis(60), 0, /*restart=*/false});
+  cfg.failure_events.push_back({millis(90), 0, /*restart=*/true});
+  rt::LocalRegion region(cfg, std::make_unique<LoadBalancingPolicy>(2));
+  const rt::LocalRunStats stats = region.run(millis(300));
+
+  EXPECT_GE(stats.channel_failures, 1u);
+  EXPECT_EQ(stats.gaps, 0u);
+  EXPECT_EQ(stats.emitted, stats.sent);
+  EXPECT_TRUE(stats.order_ok);
+}
+
+}  // namespace
+}  // namespace slb

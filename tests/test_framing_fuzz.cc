@@ -176,6 +176,87 @@ TEST(FramingFuzz, RandomCorruptionNeverAllocatesUnboundedOrInvents) {
   }
 }
 
+TEST(FramingFuzz, SingleBitFlipInPayloadIsDetectedByChecksum) {
+  // Before the per-frame checksum, a payload bit flip decoded silently
+  // into a wrong tuple. Now every single-bit error anywhere in the body
+  // must surface as a clean corrupt() verdict with the buffer released.
+  Frame f;
+  f.seq = 7;
+  f.payload = {0x10, 0x20, 0x30, 0x40, 0x50};
+  std::vector<std::uint8_t> clean;
+  encode_frame(f, clean);
+  for (std::size_t byte = kFrameHeaderBytes; byte < clean.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> bytes = clean;
+      bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      FrameDecoder dec;
+      dec.feed(bytes.data(), bytes.size());
+      Frame got;
+      EXPECT_FALSE(dec.next(got)) << "byte=" << byte << " bit=" << bit;
+      EXPECT_TRUE(dec.corrupt()) << "byte=" << byte << " bit=" << bit;
+      EXPECT_EQ(dec.buffered_bytes(), 0u);
+    }
+  }
+}
+
+TEST(FramingFuzz, SingleBitFlipInSequenceIsDetectedByChecksum) {
+  // The sequence number is covered by the checksum too: an undetected
+  // seq flip would silently re-order or drop a tuple at the merger.
+  Frame f;
+  f.seq = 0x0123456789ABCDEFull;
+  f.payload = {9, 8, 7};
+  std::vector<std::uint8_t> clean;
+  encode_frame(f, clean);
+  for (std::size_t byte = 8; byte < kFrameHeaderBytes; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> bytes = clean;
+      bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      FrameDecoder dec;
+      dec.feed(bytes.data(), bytes.size());
+      Frame got;
+      EXPECT_FALSE(dec.next(got)) << "byte=" << byte << " bit=" << bit;
+      EXPECT_TRUE(dec.corrupt()) << "byte=" << byte << " bit=" << bit;
+    }
+  }
+}
+
+TEST(FramingFuzz, CorruptFrameDoesNotPoisonEarlierCleanFrames) {
+  // Frames decoded before the damaged one are delivered; corruption cuts
+  // the stream off at the first bad frame, not retroactively.
+  Frame a;
+  a.seq = 1;
+  a.payload = {1, 1, 1};
+  Frame b;
+  b.seq = 2;
+  b.payload = {2, 2, 2};
+  std::vector<std::uint8_t> bytes;
+  encode_frame(a, bytes);
+  const std::size_t second_start = bytes.size();
+  encode_frame(b, bytes);
+  bytes[second_start + kFrameHeaderBytes] ^= 0x01;  // damage b's payload
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  Frame got;
+  ASSERT_TRUE(dec.next(got));
+  EXPECT_EQ(got.seq, 1u);
+  EXPECT_EQ(got.payload, a.payload);
+  EXPECT_FALSE(dec.next(got));
+  EXPECT_TRUE(dec.corrupt());
+}
+
+TEST(FramingFuzz, AckFrameRoundTrip) {
+  const std::vector<std::uint8_t> bytes = ack_bytes(987'654'321u);
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  Frame f;
+  ASSERT_TRUE(dec.next(f));
+  ASSERT_TRUE(f.is_ack());
+  EXPECT_EQ(f.ack_value(), 987'654'321u);
+  EXPECT_FALSE(f.is_fin());
+  EXPECT_FALSE(f.is_gap());
+  EXPECT_FALSE(f.is_hello());
+}
+
 TEST(FramingFuzz, GapFrameRoundTrip) {
   const std::vector<std::uint8_t> bytes = gap_bytes(1'000'000, 12345);
   FrameDecoder dec;

@@ -18,13 +18,17 @@
 // Usage:
 //   chaos_soak [--seed S] [--seeds K] [--mode sim|rt|both]
 //              [--duration-ms D] [--verify-replay] [--metrics-out PATH]
+//              [--delivery gap-skip|at-least-once]
 //
 // Runs K seeds starting at S (default 3 starting at 1) and exits
 // non-zero on the first invariant violation. `--verify-replay` runs each
 // sim seed twice and compares signatures. `--metrics-out` streams each
 // sim run's registry as JSON lines (per-sample deltas plus an end-of-run
-// snapshot, DESIGN.md §8). The short fixed-seed ctest variants live in
-// tools/CMakeLists.txt.
+// snapshot, DESIGN.md §8). `--delivery at-least-once` runs the same plan
+// space with replay/ack recovery armed and swaps the loss-tolerant
+// invariants for the exactly-once ones (zero gaps beyond sheds, sink
+// sees every sequence once; DESIGN.md §10). The short fixed-seed ctest
+// variants live in tools/CMakeLists.txt.
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -37,6 +41,7 @@
 
 #include "core/policies.h"
 #include "core/types.h"
+#include "delivery/delivery.h"
 #include "obs/export.h"
 #include "runtime/local_region.h"
 #include "sim/chaos.h"
@@ -75,8 +80,12 @@ struct SimOutcome {
 };
 
 SimOutcome run_sim_once(std::uint64_t seed, DurationNs duration,
-                        const std::string& metrics_out) {
-  const sim::ChaosPlan plan = sim::make_chaos_plan(seed, duration);
+                        const std::string& metrics_out, bool alo) {
+  sim::ChaosPlan plan = sim::make_chaos_plan(seed, duration);
+  if (alo) {
+    plan.region.delivery.mode = delivery::DeliveryMode::kAtLeastOnce;
+    plan.region.delivery.ack_stall_periods = 6;
+  }
   const int workers = plan.region.workers;
   sim::Region region(plan.region,
                      std::make_unique<LoadBalancingPolicy>(
@@ -138,12 +147,32 @@ SimOutcome run_sim_once(std::uint64_t seed, DurationNs duration,
     if (region.worker(j).stalled()) ++in_flight;
     if (!region.worker(j).down()) ++live;
   }
-  check(region.splitter().total_sent() ==
-            region.emitted() + region.lost_tuples() + in_flight,
-        seed, "sim: conservation (sent == emitted + lost + in-flight)");
-  check(region.merger().gaps() <=
-            region.lost_tuples() + region.shed_tuples(),
-        seed, "sim: gaps exceed declared losses + sheds");
+  // Replays parked in the merger's out-of-order pool are in flight but
+  // invisible to queue_size (always zero under GapSkip).
+  in_flight += region.merger().pooled();
+  if (alo) {
+    // Transmission-space conservation (DESIGN.md §10): every push into a
+    // channel — fresh or replayed — is released, a discarded duplicate /
+    // late arrival, lost with a crash (replay queues hold copies of lost
+    // transmissions, so they are not a separate term), or in flight.
+    check(region.splitter().total_sent() + region.splitter().retransmits() ==
+              region.emitted() + region.lost_tuples() +
+              region.merger().dup_discards() +
+              region.merger().late_discards() + in_flight,
+          seed,
+          "sim: ALO conservation (sent + retransmits == emitted + "
+          "discards + lost + in-flight)");
+    // Exactly-once at the sink: the only declared gaps are sheds.
+    check(region.merger().gaps() <= region.shed_tuples(), seed,
+          "sim: ALO lost sequences (gaps beyond sheds)");
+  } else {
+    check(region.splitter().total_sent() ==
+              region.emitted() + region.lost_tuples() + in_flight,
+          seed, "sim: conservation (sent == emitted + lost + in-flight)");
+    check(region.merger().gaps() <=
+              region.lost_tuples() + region.shed_tuples(),
+          seed, "sim: gaps exceed declared losses + sheds");
+  }
   check(region.emitted() > 0, seed, "sim: nothing emitted at all");
   if (live > 0) {
     check(region.emitted() > emitted_mid, seed,
@@ -157,6 +186,8 @@ SimOutcome run_sim_once(std::uint64_t seed, DurationNs duration,
   out.signature.push_back(region.lost_tuples());
   out.signature.push_back(region.merger().gaps());
   out.signature.push_back(region.splitter().failovers());
+  out.signature.push_back(region.splitter().retransmits());
+  out.signature.push_back(region.merger().dup_discards());
   out.signature.push_back(
       static_cast<std::uint64_t>(region.watchdog_stage()));
   for (int j = 0; j < workers; ++j) {
@@ -169,10 +200,12 @@ SimOutcome run_sim_once(std::uint64_t seed, DurationNs duration,
 }
 
 void run_sim_seed(std::uint64_t seed, DurationNs duration,
-                  bool verify_replay, const std::string& metrics_out) {
-  const SimOutcome first = run_sim_once(seed, duration, metrics_out);
+                  bool verify_replay, const std::string& metrics_out,
+                  bool alo) {
+  const SimOutcome first = run_sim_once(seed, duration, metrics_out, alo);
   if (verify_replay) {
-    const SimOutcome second = run_sim_once(seed, duration, metrics_out);
+    const SimOutcome second =
+        run_sim_once(seed, duration, metrics_out, alo);
     check(first.signature == second.signature, seed,
           "sim: replay diverged (same seed, different signature)");
   }
@@ -186,9 +219,13 @@ void run_sim_seed(std::uint64_t seed, DurationNs duration,
 
 // --- runtime soak ------------------------------------------------------
 
-void run_rt_seed(std::uint64_t seed, DurationNs duration) {
+void run_rt_seed(std::uint64_t seed, DurationNs duration, bool alo) {
   Rng rng(seed);
   rt::LocalRegionConfig cfg;
+  if (alo) {
+    cfg.delivery.mode = delivery::DeliveryMode::kAtLeastOnce;
+    cfg.delivery.ack_stall_periods = 6;
+  }
   const int workers = static_cast<int>(2 + rng.below(3));  // 2..4
   cfg.workers = workers;
   cfg.multiplies = 2000;
@@ -257,10 +294,23 @@ void run_rt_seed(std::uint64_t seed, DurationNs duration) {
   check(stats.emitted > 0, seed, "rt: nothing emitted at all");
   check(stats.channel_failures >= expected_kills, seed,
         "rt: scheduled kill not observed as a channel failure");
+  if (alo) {
+    // Exactly-once at the sink: no sequence lost (the only gaps are
+    // sheds, which never entered a channel) and no duplicate released —
+    // order_ok above already proves strict order, and every duplicate
+    // the replays manufactured was discarded before release.
+    check(stats.gaps == stats.shed, seed,
+          "rt: ALO lost sequences (gaps beyond sheds)");
+    check(stats.emitted == stats.sent, seed,
+          "rt: ALO sink missed or duplicated sequences");
+    check(stats.dup_discards <= stats.retransmits, seed,
+          "rt: more duplicates discarded than frames retransmitted");
+  }
   std::printf("  rt   seed=%-6" PRIu64 " sent=%-9" PRIu64 " emitted=%-9"
-              PRIu64 " shed=%-7" PRIu64 " gaps=%-5" PRIu64 " %s\n",
+              PRIu64 " shed=%-7" PRIu64 " gaps=%-5" PRIu64 " retx=%-5"
+              PRIu64 " %s\n",
               seed, stats.sent, stats.emitted, stats.shed, stats.gaps,
-              failures == 0 ? "ok" : "FAIL");
+              stats.retransmits, failures == 0 ? "ok" : "FAIL");
 }
 
 }  // namespace
@@ -273,19 +323,30 @@ int main(int argc, char** argv) {
   long duration_ms = 0;  // 0 = per-mode default
   bool verify_replay = false;
   std::string metrics_out;
+  std::string delivery = "gap-skip";
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> const char* {
+    std::string arg = argv[i];
+    // Accept both "--flag value" and "--flag=value" spellings.
+    std::string inline_value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg.resize(eq);
+    }
+    auto value = [&]() -> std::string {
+      if (!inline_value.empty()) return inline_value;
       return i + 1 < argc ? argv[++i] : "";
     };
-    if (arg == "--seed") {
-      seed = std::strtoull(value(), nullptr, 10);
+    if (arg == "--delivery") {
+      delivery = value();
+    } else if (arg == "--seed") {
+      seed = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--seeds" || arg == "--runs") {
-      seeds = std::atoi(value());
+      seeds = std::atoi(value().c_str());
     } else if (arg == "--mode") {
       mode = value();
     } else if (arg == "--duration-ms") {
-      duration_ms = std::atol(value());
+      duration_ms = std::atol(value().c_str());
     } else if (arg == "--verify-replay") {
       verify_replay = true;
     } else if (arg == "--metrics-out") {
@@ -294,24 +355,33 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: chaos_soak [--seed S] [--seeds K] "
                    "[--mode sim|rt|both] [--duration-ms D] "
-                   "[--verify-replay] [--metrics-out PATH]\n");
+                   "[--verify-replay] [--metrics-out PATH] "
+                   "[--delivery gap-skip|at-least-once]\n");
       return 2;
     }
   }
+  const bool alo = delivery == "at-least-once" || delivery == "alo";
+  if (!alo && delivery != "gap-skip") {
+    std::fprintf(stderr, "chaos soak: unknown --delivery '%s'\n",
+                 delivery.c_str());
+    return 2;
+  }
 
-  std::printf("chaos soak: %d seed(s) from %" PRIu64 ", mode=%s%s\n",
+  std::printf("chaos soak: %d seed(s) from %" PRIu64 ", mode=%s, "
+              "delivery=%s%s\n",
               seeds, seed, mode.c_str(),
+              alo ? "at-least-once" : "gap-skip",
               verify_replay ? ", replay-verified" : "");
   for (int k = 0; k < seeds; ++k) {
     const std::uint64_t s = seed + static_cast<std::uint64_t>(k);
     if (mode == "sim" || mode == "both") {
       slb::run_sim_seed(
           s, slb::millis(duration_ms > 0 ? duration_ms : 400),
-          verify_replay, metrics_out);
+          verify_replay, metrics_out, alo);
     }
     if (mode == "rt" || mode == "both") {
       slb::run_rt_seed(
-          s, slb::millis(duration_ms > 0 ? duration_ms : 1200));
+          s, slb::millis(duration_ms > 0 ? duration_ms : 1200), alo);
     }
   }
   if (slb::failures > 0) {
